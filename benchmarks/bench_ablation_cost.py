@@ -1,0 +1,54 @@
+"""Ablation: rule-based vs cost-based index usage.
+
+DESIGN.md calls out the planner's probe-selection policy as a design
+choice.  This benchmark isolates it: on an *unselective* predicate the
+rule-based planner pays for an index scan that prunes almost nothing,
+while the cost model skips the probe; on a *selective* predicate both
+modes probe and win.
+"""
+
+import pytest
+
+from conftest import build_db
+
+
+@pytest.fixture(scope="module")
+def cost_db():
+    return build_db(orders=400)
+
+
+SELECTIVE = ("db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+             "//lineitem[@price > 198]")
+UNSELECTIVE = ("db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+               "//lineitem[@price > 2]")
+
+
+def test_selective_rule_based(benchmark, cost_db):
+    result = benchmark(lambda: cost_db.xquery(SELECTIVE))
+    assert result.stats.indexes_used == ["li_price"]
+
+
+def test_selective_cost_based(benchmark, cost_db):
+    result = benchmark(lambda: cost_db.xquery(SELECTIVE,
+                                              cost_based=True))
+    assert result.stats.indexes_used == ["li_price"]
+
+
+def test_unselective_rule_based_pays_for_probe(benchmark, cost_db):
+    result = benchmark(lambda: cost_db.xquery(UNSELECTIVE))
+    assert result.stats.indexes_used == ["li_price"]
+    assert result.stats.index_entries_scanned > 300
+
+
+def test_unselective_cost_based_skips_probe(benchmark, cost_db):
+    result = benchmark(lambda: cost_db.xquery(UNSELECTIVE,
+                                              cost_based=True))
+    assert result.stats.indexes_used == []
+
+
+def test_modes_agree(cost_db):
+    for query in (SELECTIVE, UNSELECTIVE):
+        rule = cost_db.xquery(query)
+        cost = cost_db.xquery(query, cost_based=True)
+        scan = cost_db.xquery(query, use_indexes=False)
+        assert rule.serialize() == cost.serialize() == scan.serialize()

@@ -1,0 +1,49 @@
+"""Ablation: B+Tree node order (fan-out).
+
+The index substrate's one tunable.  Small orders stress the split/merge
+machinery; large orders approach a sorted array per node.  Probe cost
+is O(log_order n) descents with O(order) bisects — flat across sane
+values, which is why the engine defaults to 64 and moves on.
+"""
+
+import random
+
+import pytest
+
+from repro.storage.btree import BPlusTree
+
+KEYS = random.Random(11).sample(range(200_000), 20_000)
+
+
+@pytest.fixture(scope="module", params=[8, 64, 256])
+def loaded_tree(request):
+    tree = BPlusTree(order=request.param)
+    for key in KEYS:
+        tree.insert(key, key)
+    return tree
+
+
+@pytest.mark.parametrize("order", [8, 64, 256])
+def test_insert_20k(benchmark, order):
+    def build():
+        tree = BPlusTree(order=order)
+        for key in KEYS:
+            tree.insert(key, key)
+        return tree
+    tree = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert len(tree) == len(KEYS)
+
+
+def test_point_lookups(benchmark, loaded_tree):
+    probes = KEYS[::100]
+
+    def lookup():
+        return sum(len(loaded_tree.get(key)) for key in probes)
+    found = benchmark(lookup)
+    assert found == len(probes)
+
+
+def test_range_scan_10pct(benchmark, loaded_tree):
+    result = benchmark(
+        lambda: sum(1 for _ in loaded_tree.scan(10_000, 30_000)))
+    assert result > 0

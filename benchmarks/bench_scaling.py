@@ -1,0 +1,37 @@
+"""Collection-size scaling: why document prefiltering is "the main way
+to improve performance on the workloads we observed" (§2.1).
+
+Index-assisted cost tracks the number of *matching* documents; full
+scans track the collection size.
+"""
+
+import pytest
+
+from conftest import build_db
+
+QUERY = ("for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+         "//order[lineitem/@price > 198] return $i")
+
+_DBS = {}
+
+
+def _db(scale: int):
+    if scale not in _DBS:
+        _DBS[scale] = build_db(orders=scale, seed=scale)
+    return _DBS[scale]
+
+
+@pytest.mark.parametrize("scale", [100, 400, 1600])
+def test_indexed_query_scaling(benchmark, scale):
+    database = _db(scale)
+    result = benchmark(lambda: database.xquery(QUERY))
+    assert result.stats.indexes_used == ["li_price"]
+    assert result.stats.docs_scanned < scale / 4
+
+
+@pytest.mark.parametrize("scale", [100, 400, 1600])
+def test_full_scan_scaling(benchmark, scale):
+    database = _db(scale)
+    result = benchmark(lambda: database.xquery(QUERY,
+                                               use_indexes=False))
+    assert result.stats.docs_scanned == scale

@@ -1,0 +1,27 @@
+"""§2.2 — index eligibility basics (Queries 1 and 2).
+
+Paper claim: Query 1's predicate can be answered by the li_price index
+(prefiltering the collection); Query 2's ``@*`` wildcard predicate
+cannot, forcing a full scan.  The benchmark shows the gap.
+"""
+
+Q1 = ("for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+      "//order[lineitem/@price>190] return $i")
+Q2 = ("for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+      "//order[lineitem/@*>190] return $i")
+
+
+def test_query1_with_index(benchmark, paper_bench_db):
+    result = benchmark(lambda: paper_bench_db.xquery(Q1))
+    assert result.stats.indexes_used == ["li_price"]
+
+
+def test_query1_full_scan(benchmark, paper_bench_db):
+    result = benchmark(
+        lambda: paper_bench_db.xquery(Q1, use_indexes=False))
+    assert result.stats.indexes_used == []
+
+
+def test_query2_wildcard_cannot_use_index(benchmark, paper_bench_db):
+    result = benchmark(lambda: paper_bench_db.xquery(Q2))
+    assert result.stats.indexes_used == []

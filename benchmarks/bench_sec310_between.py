@@ -1,0 +1,38 @@
+"""§3.10 — between predicates (Query 30).
+
+Paper claim: a singleton-guaranteed pair collapses to one index range
+scan; an existential pair needs two scans ANDed; both beat a full scan.
+"""
+
+SINGLE = ("for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+          "//order[lineitem[@price>150 and @price<160]] return $i")
+EXISTENTIAL = ("db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+               "//lineitem[price > 150 and price < 160]")
+SELF_AXIS = ("db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+             "//lineitem[price/data()[. > 150 and . < 160]]")
+
+
+def test_attribute_between_single_scan(benchmark, paper_bench_db):
+    result = benchmark(lambda: paper_bench_db.xquery(SINGLE))
+    assert result.stats.index_scans == 1
+    assert result.stats.indexes_used == ["li_price"]
+
+
+def test_attribute_between_full_scan(benchmark, paper_bench_db):
+    result = benchmark(
+        lambda: paper_bench_db.xquery(SINGLE, use_indexes=False))
+    assert result.stats.index_scans == 0
+
+
+def test_existential_pair_two_scans(benchmark, element_price_db):
+    result = benchmark(lambda: element_price_db.xquery(EXISTENTIAL))
+    assert result.stats.index_scans == 2
+    baseline = element_price_db.xquery(EXISTENTIAL, use_indexes=False)
+    assert result.serialize() == baseline.serialize()
+
+
+def test_self_axis_between_single_scan(benchmark, element_price_db):
+    result = benchmark(lambda: element_price_db.xquery(SELF_AXIS))
+    assert result.stats.index_scans == 1
+    baseline = element_price_db.xquery(SELF_AXIS, use_indexes=False)
+    assert result.serialize() == baseline.serialize()

@@ -1,0 +1,55 @@
+"""§3.2 — SQL/XML query functions (Queries 5–12).
+
+Paper claims: XMLQUERY in the select list and boolean-bodied XMLEXISTS
+never filter (full scans); XMLEXISTS with a node filter, the XMLTABLE
+row-producer, and the standalone interface do (index prefilter).
+"""
+
+Q5 = ("SELECT XMLQuery('$order//lineitem[@price > 190]' "
+      'passing orddoc as "order") FROM orders')
+Q7 = "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[@price > 190]"
+Q8 = ("SELECT ordid, orddoc FROM orders WHERE "
+      "XMLExists('$order//lineitem[@price > 190]' "
+      'passing orddoc as "order")')
+Q9 = ("SELECT ordid, orddoc FROM orders WHERE "
+      "XMLExists('$order//lineitem/@price > 190' "
+      'passing orddoc as "order")')
+Q11 = ("SELECT o.ordid, t.lineitem FROM orders o, "
+       "XMLTable('$order//lineitem[@price > 190]' "
+       'passing o.orddoc as "order" '
+       "COLUMNS \"lineitem\" XML BY REF PATH '.') as t(lineitem)")
+Q12 = ("SELECT o.ordid, t.price FROM orders o, "
+       "XMLTable('$order//lineitem' passing o.orddoc as \"order\" "
+       "COLUMNS \"price\" DOUBLE PATH '@price[. > 190]') as t(price)")
+
+
+def test_query5_select_list_no_filter(benchmark, paper_bench_db):
+    result = benchmark(lambda: paper_bench_db.sql(Q5))
+    assert result.stats.indexes_used == []
+
+
+def test_query7_standalone_with_index(benchmark, paper_bench_db):
+    result = benchmark(lambda: paper_bench_db.xquery(Q7))
+    assert result.stats.indexes_used == ["li_price"]
+
+
+def test_query8_xmlexists_with_index(benchmark, paper_bench_db):
+    result = benchmark(lambda: paper_bench_db.sql(Q8))
+    assert result.stats.indexes_used == ["li_price"]
+
+
+def test_query9_boolean_body_full_scan(benchmark, paper_bench_db):
+    result = benchmark(lambda: paper_bench_db.sql(Q9))
+    assert result.stats.indexes_used == []
+    assert len(result) == len(paper_bench_db.table("orders"))
+
+
+def test_query11_xmltable_row_producer_with_index(benchmark,
+                                                  paper_bench_db):
+    result = benchmark(lambda: paper_bench_db.sql(Q11))
+    assert result.stats.indexes_used == ["li_price"]
+
+
+def test_query12_column_predicate_full_scan(benchmark, paper_bench_db):
+    result = benchmark(lambda: paper_bench_db.sql(Q12))
+    assert result.stats.indexes_used == []

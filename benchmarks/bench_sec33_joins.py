@@ -1,0 +1,46 @@
+"""§3.3 — joining XML values (Queries 13–16).
+
+Paper claims: an XQuery-side join can use XML indexes (13, 16); an
+SQL-side join can use relational indexes (14); SQL comparisons over
+two XMLCASTs use nothing (15).
+"""
+
+Q13 = ("SELECT p.name FROM products p, orders o "
+       "WHERE XMLExists('$order//lineitem/product[id eq $pid]' "
+       'passing o.orddoc as "order", p.id as "pid")')
+Q15 = ("SELECT c.cid FROM orders o, customer c, "
+       "WHERE XMLCast(XMLQuery('$order/order/custid' "
+       'passing o.orddoc as "order") as DOUBLE) = '
+       "XMLCast(XMLQuery('$cust/customer/id' "
+       'passing c.cdoc as "cust") as DOUBLE)')
+Q16 = ("SELECT c.cid FROM customer c, orders o "
+       "WHERE XMLExists('$order/order[custid/xs:double(.) = "
+       "$cust/customer/id/xs:double(.)]' "
+       'passing o.orddoc as "order", c.cdoc as "cust")')
+
+
+def test_query13_xquery_join_with_xml_index(benchmark, paper_bench_db):
+    result = benchmark(lambda: paper_bench_db.sql(Q13))
+    assert result.stats.indexes_used == ["li_prod_id"]
+
+
+def test_query13_without_index(benchmark, paper_bench_db):
+    result = benchmark(
+        lambda: paper_bench_db.sql(Q13, use_indexes=False))
+    assert result.stats.indexes_used == []
+
+
+def test_query15_sql_comparison_no_index(benchmark, paper_bench_db):
+    result = benchmark(lambda: paper_bench_db.sql(Q15))
+    assert result.stats.indexes_used == []
+
+
+def test_query16_xml_join_with_o_custid(benchmark, paper_bench_db):
+    result = benchmark(lambda: paper_bench_db.sql(Q16))
+    assert result.stats.indexes_used == ["o_custid"]
+
+
+def test_query15_16_agree(paper_bench_db):
+    q15 = paper_bench_db.sql(Q15)
+    q16 = paper_bench_db.sql(Q16)
+    assert sorted(q15.rows) == sorted(q16.rows)

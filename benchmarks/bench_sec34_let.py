@@ -1,0 +1,45 @@
+"""§3.4 — let clauses and constructors (Queries 17–22).
+
+Paper claims: for-bindings, where-guarded lets, and bare bind-outs can
+use indexes; plain lets and constructor-embedded predicates cannot.
+"""
+
+Q17 = ("for $doc in db2-fn:xmlcolumn('ORDERS.ORDDOC') "
+       "for $item in $doc//lineitem[@price > 190] "
+       "return <result>{$item}</result>")
+Q18 = ("for $doc in db2-fn:xmlcolumn('ORDERS.ORDDOC') "
+       "let $item:= $doc//lineitem[@price > 190] "
+       "return <result>{$item}</result>")
+Q19 = ("for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order "
+       "return <result>{$ord/lineitem[@price > 190]}</result>")
+Q21 = ("for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order "
+       "let $price := $ord/lineitem/@price where $price > 190 "
+       "return <result>{$ord/lineitem}</result>")
+Q22 = ("for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order "
+       "return $ord/lineitem[@price > 190]")
+
+
+def test_query17_for_binding_indexed(benchmark, paper_bench_db):
+    result = benchmark(lambda: paper_bench_db.xquery(Q17))
+    assert result.stats.indexes_used == ["li_price"]
+
+
+def test_query18_let_binding_full_scan(benchmark, paper_bench_db):
+    result = benchmark(lambda: paper_bench_db.xquery(Q18))
+    assert result.stats.indexes_used == []
+    assert len(result) == len(paper_bench_db.table("orders"))
+
+
+def test_query19_constructor_full_scan(benchmark, paper_bench_db):
+    result = benchmark(lambda: paper_bench_db.xquery(Q19))
+    assert result.stats.indexes_used == []
+
+
+def test_query21_let_with_where_indexed(benchmark, paper_bench_db):
+    result = benchmark(lambda: paper_bench_db.xquery(Q21))
+    assert result.stats.indexes_used == ["li_price"]
+
+
+def test_query22_bindout_indexed(benchmark, paper_bench_db):
+    result = benchmark(lambda: paper_bench_db.xquery(Q22))
+    assert result.stats.indexes_used == ["li_price"]

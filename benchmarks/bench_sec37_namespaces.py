@@ -1,0 +1,54 @@
+"""§3.7 — namespaces (Query 28).
+
+Paper claim: indexes whose patterns omit namespace declarations store
+only empty-namespace nodes and cannot serve namespace-qualified
+queries; declared or wildcard namespaces fix it.
+"""
+
+import pytest
+
+from conftest import build_db
+
+ORDER_NS = "http://ournamespaces.com/order"
+
+QUERY = (
+    f'declare default element namespace "{ORDER_NS}"; '
+    'for $ord in db2-fn:xmlcolumn("ORDERS.ORDDOC")'
+    "/order[lineitem/@price > 190] return $ord")
+
+
+@pytest.fixture(scope="module")
+def ns_db():
+    database = build_db(namespace=ORDER_NS)
+    # The pitfall index: no namespace declarations.
+    database.execute("CREATE INDEX li_plain ON orders(orddoc) "
+                     "USING XMLPATTERN '//lineitem/@price' AS DOUBLE")
+    # The fixes (Tip 10): declared namespace / wildcard / attribute-only.
+    database.execute(
+        "CREATE INDEX li_declared ON orders(orddoc) USING XMLPATTERN "
+        f"'declare default element namespace \"{ORDER_NS}\"; "
+        "//lineitem/@price' AS DOUBLE")
+    database.execute("CREATE INDEX li_wild ON orders(orddoc) "
+                     "USING XMLPATTERN '//*:lineitem/@price' AS DOUBLE")
+    return database
+
+
+def test_namespaceless_index_is_empty_and_unused(benchmark, ns_db):
+    assert len(ns_db.xml_indexes["li_plain"]) == 0
+
+    def run():
+        return ns_db.xquery(QUERY, use_indexes=False)
+    result = benchmark(run)
+    assert result.stats.indexes_used == []
+
+
+def test_declared_namespace_index_used(benchmark, ns_db):
+    result = benchmark(lambda: ns_db.xquery(QUERY))
+    assert set(result.stats.indexes_used) <= {"li_declared", "li_wild"}
+    assert result.stats.indexes_used
+
+
+def test_results_agree(ns_db):
+    fast = ns_db.xquery(QUERY)
+    slow = ns_db.xquery(QUERY, use_indexes=False)
+    assert fast.serialize() == slow.serialize()

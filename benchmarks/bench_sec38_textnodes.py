@@ -1,0 +1,44 @@
+"""§3.8 — text nodes (Query 29).
+
+Paper claim: a ``//price`` element index cannot answer a
+``price/text()`` predicate (mixed content diverges); an aligned
+``//price/text()`` index can.
+"""
+
+QUERY = ('for $ord in db2-fn:xmlcolumn("ORDERS.ORDDOC")'
+         "/order[lineitem/price/text() > 190] return $ord")
+ELEMENT_QUERY = ('for $ord in db2-fn:xmlcolumn("ORDERS.ORDDOC")'
+                 "/order[lineitem/price > 190] return $ord")
+
+
+def test_text_predicate_with_aligned_index(benchmark, element_price_db):
+    result = benchmark(lambda: element_price_db.xquery(QUERY))
+    # Numeric comparison — the varchar text index is type-incompatible,
+    # so this measures the honest fallback: nothing eligible.
+    assert "e_price" not in result.stats.indexes_used
+
+
+def test_element_predicate_with_element_index(benchmark,
+                                              element_price_db):
+    result = benchmark(lambda: element_price_db.xquery(ELEMENT_QUERY))
+    assert result.stats.indexes_used == ["e_price"]
+
+
+def test_string_text_predicate_uses_text_index(benchmark,
+                                               element_price_db):
+    query = ('for $ord in db2-fn:xmlcolumn("ORDERS.ORDDOC")'
+             '/order[lineitem/price/text() = "99.50"] return $ord')
+    result = benchmark(lambda: element_price_db.xquery(query))
+    assert result.stats.indexes_used == ["e_price_text"]
+    baseline = element_price_db.xquery(query, use_indexes=False)
+    assert result.serialize() == baseline.serialize()
+
+
+def test_mixed_content_divergence(element_price_db):
+    """Documents where string-value and text() differ exist at this
+    scale, which is exactly why the indexes must not be swapped."""
+    diverging = element_price_db.xquery(
+        "for $p in db2-fn:xmlcolumn('ORDERS.ORDDOC')//price"
+        "[text()[1] != string(.)] return $p",
+        use_indexes=False)
+    assert len(diverging) > 0

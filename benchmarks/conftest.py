@@ -1,0 +1,61 @@
+"""Shared benchmark fixtures: populated databases at fixed scales.
+
+Session-scoped: each benchmark module reads, never mutates, these
+databases.  ``paper_bench_db`` is the paper's 3-table schema with the
+running-example indexes plus the varchar/by-element variants the
+pitfall benchmarks need.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.workload import OrderProfile, populate_paper_schema
+
+#: Collection size used by the per-pitfall benchmarks.
+SCALE = 300
+
+
+def build_db(orders: int = SCALE, element_prices: bool = False,
+             namespace: str | None = None, seed: int = 1) -> Database:
+    database = Database()
+    profile = OrderProfile(
+        max_lineitems=4, price_low=1, price_high=200,
+        string_price_fraction=0.05, element_prices=element_prices,
+        mixed_text_fraction=0.1 if element_prices else 0.0,
+        namespace=namespace)
+    populate_paper_schema(database, orders=orders,
+                          customers=max(10, orders // 10), products=20,
+                          profile=profile, seed=seed,
+                          with_indexes=not namespace)
+    return database
+
+
+@pytest.fixture(scope="session")
+def paper_bench_db() -> Database:
+    database = build_db()
+    database.execute(
+        "CREATE INDEX li_price_str ON orders(orddoc) "
+        "USING XMLPATTERN '//lineitem/@price' AS VARCHAR")
+    database.execute(
+        "CREATE INDEX li_prod_id ON orders(orddoc) "
+        "USING XMLPATTERN '//lineitem/product/id' AS VARCHAR")
+    database.create_relational_index("p_id_rel", "products", "id")
+    return database
+
+
+@pytest.fixture(scope="session")
+def element_price_db() -> Database:
+    database = build_db(element_prices=True)
+    database.execute(
+        "CREATE INDEX e_price ON orders(orddoc) "
+        "USING XMLPATTERN '//lineitem/price' AS DOUBLE")
+    database.execute(
+        "CREATE INDEX e_price_text ON orders(orddoc) "
+        "USING XMLPATTERN '//lineitem/price/text()' AS VARCHAR")
+    return database
+
+
+#: Selectivity used by most predicates: price > 190 (~5% of lineitems).
+PRICE_BOUND = 190

@@ -1,0 +1,76 @@
+"""Schema evolution: the §2.1 postal-code story, end to end.
+
+Version 1 of the customer schema types postal codes as numbers (U.S.
+ZIP).  The company starts shipping to Canada; version 2 types them as
+strings.  Both populations share one XML column — per-document schema
+association — and the *tolerant* indexes keep accepting documents the
+old numeric index cannot hold.
+
+Run:  python examples/schema_evolution.py
+"""
+
+from repro import Database
+from repro.errors import SchemaValidationError
+from repro.workload import (WorkloadGenerator, intl_customer_schema,
+                            us_customer_schema)
+
+
+def main() -> None:
+    db = Database()
+    db.execute("CREATE TABLE customer (cid INTEGER, cdoc XML)")
+    db.register_schema(us_customer_schema())
+    db.register_schema(intl_customer_schema())
+
+    # Both index types coexist on the same data (§2.1: "the system may
+    # require both a numeric and a string index on the same data").
+    db.execute("CREATE INDEX pc_num ON customer(cdoc) "
+               "USING XMLPATTERN '//postalcode' AS DOUBLE")
+    db.execute("CREATE INDEX pc_str ON customer(cdoc) "
+               "USING XMLPATTERN '//postalcode' AS VARCHAR")
+
+    generator = WorkloadGenerator(seed=2006)
+    for cid in range(1, 31):
+        canadian = cid % 3 == 0
+        doc = generator.customer_document(cid, canadian=canadian)
+        schema = "customer-v2" if canadian else "customer-v1"
+        db.insert("customer", {"cid": cid, "cdoc": doc}, schema=schema)
+
+    num_index = db.xml_indexes["pc_num"]
+    str_index = db.xml_indexes["pc_str"]
+    print(f"customers: {len(db.table('customer'))}")
+    print(f"numeric index entries: {len(num_index)} "
+          f"(skipped {num_index.skipped_nodes} non-numeric codes)")
+    print(f"string  index entries: {len(str_index)} (holds everything)")
+
+    # The old numeric schema rejects Canadian documents outright.
+    try:
+        db.insert("customer",
+                  {"cid": 99,
+                   "cdoc": generator.customer_document(99,
+                                                       canadian=True)},
+                  schema="customer-v1")
+    except SchemaValidationError as error:
+        print(f"\nv1 schema rejects Canadian codes as expected:\n  "
+              f"{error}")
+
+    # Old numeric application query — guarded for mixed typed data.
+    numeric_query = (
+        "for $c in db2-fn:xmlcolumn('CUSTOMER.CDOC')/customer"
+        "[address/postalcode[. castable as xs:double]"
+        "/xs:double(.) < 30000] return $c/id/data(.)")
+    result = db.xquery(numeric_query)
+    print(f"\nnumeric query: {len(result)} matches, "
+          f"indexes: {result.stats.indexes_used}")
+
+    # New string application query.
+    string_query = (
+        "for $c in db2-fn:xmlcolumn('CUSTOMER.CDOC')/customer"
+        "[address/postalcode/xs:string(.) > 'K'] "
+        "return $c/id/data(.)")
+    result = db.xquery(string_query)
+    print(f"string  query: {len(result)} matches, "
+          f"indexes: {result.stats.indexes_used}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so `pip install -e .` works on offline
+environments whose setuptools lacks the `wheel` package needed for
+PEP 660 editable builds (pip falls back to `setup.py develop`).
+"""
+
+from setuptools import setup
+
+setup()

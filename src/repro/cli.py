@@ -1,0 +1,149 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``demo`` — build the paper's 3-table schema with generated data and
+  run the Query 1 index-vs-scan comparison;
+* ``load DIR`` + ``query`` / ``sql`` / ``explain`` / ``advise`` /
+  ``describe`` — load every ``*.xml`` file under a directory into a
+  single-column ``docs(doc XML)`` table (with optional indexes) and run
+  statements against it.
+
+Examples::
+
+    python -m repro demo
+    python -m repro query --load ./feeds \\
+        --index "//item/title AS VARCHAR" \\
+        "db2-fn:xmlcolumn('DOCS.DOC')//title"
+    python -m repro explain --load ./feeds \\
+        "db2-fn:xmlcolumn('DOCS.DOC')//item[title = 'x']"
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from . import Database
+from .core.advisor import advise
+from .workload import OrderProfile, populate_paper_schema
+from .xmlio.serializer import serialize
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="An XML database reproducing 'On the Path to "
+                    "Efficient XML Queries' (VLDB 2006)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    demo = commands.add_parser("demo", help="run the Query 1 demo")
+    demo.add_argument("--orders", type=int, default=300)
+
+    for name, help_text in [
+            ("query", "run an XQuery"),
+            ("sql", "run an SQL/XML statement"),
+            ("explain", "explain index eligibility and the plan"),
+            ("advise", "run the Tips 1-12 advisor"),
+            ("describe", "print the catalog")]:
+        sub = commands.add_parser(name, help=help_text)
+        sub.add_argument("--load", metavar="DIR", default=None,
+                         help="directory of *.xml files loaded into "
+                              "docs(doc XML)")
+        sub.add_argument("--index", action="append", default=[],
+                         metavar="'PATTERN AS TYPE'",
+                         help="XML index over the docs column "
+                              "(repeatable)")
+        sub.add_argument("--no-indexes", action="store_true",
+                         help="disable index usage at run time")
+        sub.add_argument("--indent", action="store_true",
+                         help="pretty-print XML results")
+        if name != "describe":
+            sub.add_argument("statement", help="the query text")
+    return parser
+
+
+def load_directory(database: Database, directory: str,
+                   index_specs: list[str]) -> int:
+    database.create_table("docs", [("name", "VARCHAR(255)"),
+                                   ("doc", "XML")])
+    count = 0
+    root = pathlib.Path(directory)
+    for path in sorted(root.rglob("*.xml")):
+        database.insert("docs", {"name": path.name,
+                                 "doc": path.read_text()})
+        count += 1
+    for position, spec in enumerate(index_specs, start=1):
+        pattern, _sep, index_type = spec.rpartition(" AS ")
+        if not pattern:
+            pattern, index_type = spec, "VARCHAR"
+        database.create_xml_index(f"cli_idx_{position}", "docs", "doc",
+                                  pattern.strip(), index_type.strip())
+    return count
+
+
+def run_demo(orders: int, out=sys.stdout) -> None:
+    database = Database()
+    populate_paper_schema(
+        database, orders=orders, customers=max(5, orders // 10),
+        products=20,
+        profile=OrderProfile(price_low=1, price_high=200))
+    query = ("for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+             "//order[lineitem/@price>190] return $i")
+    fast = database.xquery(query)
+    slow = database.xquery(query, use_indexes=False)
+    print(f"collection: {orders} orders", file=out)
+    print(f"query: {query}", file=out)
+    print(f"with li_price index: {len(fast)} results, "
+          f"{fast.stats.docs_scanned} documents touched", file=out)
+    print(f"full collection scan: {len(slow)} results, "
+          f"{slow.stats.docs_scanned} documents touched", file=out)
+    print(database.explain(query), file=out)
+
+
+def main(argv: list[str] | None = None, out=sys.stdout) -> int:
+    arguments = build_parser().parse_args(argv)
+    if arguments.command == "demo":
+        run_demo(arguments.orders, out=out)
+        return 0
+
+    database = Database()
+    if arguments.load:
+        count = load_directory(database, arguments.load, arguments.index)
+        print(f"loaded {count} documents from {arguments.load}",
+              file=out)
+
+    if arguments.command == "describe":
+        print(database.describe(), file=out)
+        return 0
+    if arguments.command == "explain":
+        print(database.explain(arguments.statement), file=out)
+        return 0
+    if arguments.command == "advise":
+        items = advise(database, arguments.statement)
+        if not items:
+            print("no advice: the query avoids the catalogued "
+                  "pitfalls", file=out)
+        for item in items:
+            print(str(item), file=out)
+        return 0
+    if arguments.command == "sql":
+        result = database.sql(arguments.statement,
+                              use_indexes=not arguments.no_indexes)
+        print("\t".join(result.columns), file=out)
+        for row in result.serialize_rows():
+            print("\t".join("NULL" if value is None else str(value)
+                            for value in row), file=out)
+        print(result.stats.explain(), file=out)
+        return 0
+    result = database.xquery(arguments.statement,
+                             use_indexes=not arguments.no_indexes)
+    for item in result.items:
+        print(serialize(item, indent=arguments.indent), file=out)
+    print(result.stats.explain(), file=out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

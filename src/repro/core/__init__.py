@@ -1,0 +1,26 @@
+"""Core contribution: index eligibility analysis, between detection,
+pattern containment, and the pitfall advisor."""
+
+from .advisor import Advice, advise, advise_index_pattern
+from .between import BetweenGroup, detect_between
+from .eligibility import (analyze_candidates, analyze_eligibility,
+                          check_index)
+from .patterns import (LinearPattern, PathComponent, PathPattern,
+                       PatternStep, StepTest, erase_namespaces,
+                       parse_xmlpattern, pattern_contains)
+from .predicates import (FILTERING_CONTEXTS, Origin, PredicateCandidate,
+                         PredicateContext, SQLTypedValue,
+                         extract_candidates)
+from .report import EligibilityReport, IndexVerdict, PredicateReport, Reason
+from .rewriter import RewriteResult, rewrite_view_flattening
+
+__all__ = [
+    "Advice", "advise", "advise_index_pattern",
+    "BetweenGroup", "EligibilityReport", "FILTERING_CONTEXTS",
+    "IndexVerdict", "LinearPattern", "Origin", "PathComponent",
+    "PathPattern", "PatternStep", "PredicateCandidate", "PredicateContext",
+    "PredicateReport", "Reason", "SQLTypedValue", "StepTest",
+    "analyze_candidates", "analyze_eligibility", "check_index",
+    "detect_between", "erase_namespaces", "extract_candidates",
+    "parse_xmlpattern", "pattern_contains",
+]

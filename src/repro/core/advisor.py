@@ -1,0 +1,267 @@
+"""The pitfall advisor: Tips 1–12 as automated diagnostics.
+
+The paper distils its experience into twelve usage tips.  This module
+codifies them: given a query (and the database's index catalog), it
+emits structured advice explaining which pitfall the query is about to
+hit and how the paper says to rewrite it.
+
+Most advice falls out of the eligibility analyzer — every ineligible
+verdict carries the paper section and tip that explain it — plus a few
+standalone lints (boolean-bodied XMLEXISTS, ``//*`` index patterns,
+non-singleton between pairs) that warn even when they do not involve
+an index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..xquery import ast as xast
+from ..xquery.parser import parse_xquery
+from .between import detect_between
+from .eligibility import analyze_candidates
+from .predicates import PredicateContext, extract_candidates
+from .report import Reason
+
+#: Tip number -> the paper's wording, abbreviated.
+TIPS = {
+    1: "Use type-cast expressions in XQuery join predicates "
+       "($x/xs:double(.) is more general than xs:double($x)).",
+    2: "If only XML fragments are to be retrieved, use the stand-alone "
+       "XQuery interface to extract values.",
+    3: "Use XMLEXISTS to retrieve full documents by a condition, and "
+       "make sure its XQuery returns nodes, not a boolean value.",
+    4: "Use XMLTABLE to retrieve relational and XML values together; "
+       "express predicates in the row-producer expression.",
+    5: "When joining an XML value with a relational value, express the "
+       "join on the side that has the index.",
+    6: "Always express XML-to-XML joins on the XQuery side.",
+    7: "Unless you want empty elements for non-qualifying nodes, do not "
+       "put predicates inside element constructors in return clauses.",
+    8: "Mind the extra navigation level at document nodes, and avoid "
+       "absolute paths when the context is a constructed element.",
+    9: "Write predicates on base data before any construction or "
+       "implicit casts.",
+    10: "Keep namespace declarations consistent between data, queries "
+        "and indexes, or use namespace wildcards in index patterns.",
+    11: "Align /text() steps between queries and index definitions.",
+    12: "To index all attributes use //@* — //* and //node() contain "
+        "no attribute nodes.",
+}
+
+#: Advice for the §3.10 between pitfall (no numbered tip in the paper).
+BETWEEN_ADVICE = (
+    "General comparisons are existential: a[x > 1 and x < 2] is not a "
+    "between unless x is provably a singleton. Use value comparisons, "
+    "the self axis (x[. > 1 and . < 2]), or attributes.")
+
+
+@dataclass
+class Advice:
+    tip: int | None          # tip number, None for §3.10-style advice
+    section: str
+    severity: str            # 'warning' | 'info'
+    message: str
+    suggestion: str
+
+    def __str__(self) -> str:
+        tip = f"Tip {self.tip}" if self.tip else f"§{self.section}"
+        return f"[{self.severity}] {tip}: {self.message} -> " \
+               f"{self.suggestion}"
+
+
+def advise(database, query: str, language: str = "auto") -> list[Advice]:
+    """Analyze a query and return pitfall advice, worst first."""
+    if language == "auto":
+        head = query.lstrip().upper()
+        language = ("sql" if head.startswith(("SELECT", "VALUES"))
+                    else "xquery")
+    if language == "sql":
+        from ..sql.analyzer import extract_sql_candidates
+        candidates = extract_sql_candidates(database, query)
+        module = None
+    else:
+        module = parse_xquery(query)
+        candidates = extract_candidates(module)
+
+    advice: list[Advice] = []
+    seen: set[tuple] = set()
+
+    def add(item: Advice) -> None:
+        key = (item.tip, item.section, item.message)
+        if key not in seen:
+            seen.add(key)
+            advice.append(item)
+
+    # 1. Reason-driven advice from eligibility verdicts.  A predicate
+    # only deserves a warning when *no* index on its column can answer
+    # it — a rejected sibling index is normal, not a pitfall.
+    report = analyze_candidates(database, candidates, query, language)
+    for predicate in report.predicates:
+        if predicate.eligible_indexes or not predicate.verdicts:
+            continue
+        for verdict in predicate.verdicts:
+            for reason in verdict.reasons:
+                if reason in (Reason.ELIGIBLE,
+                              Reason.PATTERN_NOT_CONTAINED,
+                              Reason.UNANALYZABLE_PATH):
+                    continue
+                add(Advice(
+                    tip=reason.tip,
+                    section=reason.section,
+                    severity="warning",
+                    message=f"index {verdict.index_name} cannot answer "
+                            f"{predicate.description}: "
+                            f"{reason.description}",
+                    suggestion=TIPS.get(reason.tip,
+                                        reason.description)))
+
+    # 2. Context-driven advice that needs no index to be present.
+    for candidate in candidates:
+        if candidate.context is PredicateContext.SQL_BOOLEAN_XMLEXISTS:
+            add(Advice(3, "3.2", "warning",
+                       "XMLEXISTS over a boolean-valued XQuery never "
+                       "filters: a boolean is a one-item sequence, so "
+                       "every row qualifies (Query 9)",
+                       TIPS[3]))
+        elif candidate.context is PredicateContext.SQL_SELECT_LIST:
+            add(Advice(2, "3.2", "warning",
+                       f"predicate {candidate.description} in a select-"
+                       "list XMLQUERY cannot eliminate rows; empty "
+                       "sequences are returned (Query 5)",
+                       TIPS[2]))
+        elif candidate.context is PredicateContext.SQL_XMLTABLE_COLUMN:
+            add(Advice(4, "3.2", "warning",
+                       f"predicate {candidate.description} in an "
+                       "XMLTABLE column path produces NULLs instead of "
+                       "filtering (Query 12)",
+                       TIPS[4]))
+        elif candidate.context is PredicateContext.CONSTRUCTOR_CONTENT:
+            add(Advice(7, "3.4", "warning",
+                       f"predicate {candidate.description} sits inside "
+                       "an element constructor: an empty element is "
+                       "returned for every non-qualifying binding "
+                       "(Query 19)",
+                       TIPS[7]))
+        elif candidate.context is PredicateContext.LET_BINDING:
+            add(Advice(None, "3.4", "warning",
+                       f"predicate {candidate.description} in a let "
+                       "binding preserves empty sequences; no index can "
+                       "filter (Query 18)",
+                       "Bind with a for clause, or add a where clause "
+                       "that discards the empty sequence (Query 21)."))
+        if candidate.uses_sql_comparison:
+            add(Advice(6, "3.3", "warning",
+                       "join over XML values expressed with SQL "
+                       "comparison semantics (XMLCAST = XMLCAST): no "
+                       "XML index is eligible (Query 15)",
+                       TIPS[6]))
+        if candidate.operand_type is None and \
+                candidate.operand_expr is not None and \
+                candidate.op in ("=", "eq"):
+            add(Advice(1, "3.1", "warning",
+                       f"join predicate {candidate.description} has no "
+                       "provable comparison type",
+                       TIPS[1]))
+
+    # 3. Between pairs that do not collapse (§3.10).
+    for group in detect_between(candidates):
+        if not group.single_scan:
+            add(Advice(None, "3.10", "info",
+                       f"{group.lower.description} / "
+                       f"{group.upper.description} is an existential "
+                       "pair, not a between: it needs two index scans "
+                       "ANDed together",
+                       BETWEEN_ADVICE))
+
+    # 4. XQuery-structural lints (document vs element navigation, §3.5).
+    if module is not None:
+        advice.extend(_structural_lints(module, seen))
+
+    return advice
+
+
+def advise_index_pattern(pattern_text: str) -> list[Advice]:
+    """Lint an XMLPATTERN before creating the index (Tips 10 and 12)."""
+    from .patterns import parse_xmlpattern
+
+    pattern = parse_xmlpattern(pattern_text)
+    advice: list[Advice] = []
+    final_kinds = {test.kind for test in pattern.final_tests()}
+    if final_kinds and "attribute" not in final_kinds:
+        wildcard_finals = [test for test in pattern.final_tests()
+                           if test.kind in ("element", "node")
+                           and test.local is None]
+        if wildcard_finals:
+            advice.append(Advice(
+                12, "3.9", "warning",
+                f"pattern '{pattern_text}' does not index attribute "
+                "nodes — //* and //node() never match attributes",
+                TIPS[12]))
+    has_namespace = any(
+        test.uri not in ("", None)
+        for alternative in pattern.alternatives
+        for step in alternative.steps
+        for test in (step.test,) + step.extra_tests)
+    has_concrete_empty_ns = any(
+        test.uri == "" and test.kind in ("element",)
+        for alternative in pattern.alternatives
+        for step in alternative.steps
+        for test in (step.test,) + step.extra_tests)
+    if not has_namespace and has_concrete_empty_ns:
+        advice.append(Advice(
+            10, "3.7", "info",
+            f"pattern '{pattern_text}' restricts element steps to the "
+            "empty namespace; queries that declare a default element "
+            "namespace will not match it",
+            TIPS[10]))
+    return advice
+
+
+def _structural_lints(module, seen: set) -> list[Advice]:
+    """Detect §3.5 hazards: absolute paths over constructed elements."""
+    advice: list[Advice] = []
+    constructed_vars: set[str] = set()
+    for node in xast.walk(module.body):
+        if isinstance(node, xast.LetClause) and _is_constructor(node.expr):
+            constructed_vars.add(node.var)
+        if isinstance(node, xast.ForClause) and _is_constructor(node.expr):
+            constructed_vars.add(node.var)
+    def flag() -> None:
+        item = Advice(
+            8, "3.5", "warning",
+            "absolute path ('/' or '//') applied inside a tree rooted "
+            "at a constructed element raises err:XPDY0050 (Query 25)",
+            TIPS[8])
+        key = (item.tip, item.section, item.message)
+        if key not in seen:
+            seen.add(key)
+            advice.append(item)
+
+    def rooted_at_constructor(expr) -> bool:
+        if _is_constructor(expr):
+            return True
+        return (isinstance(expr, xast.VarRef) and
+                expr.name in constructed_vars)
+
+    for node in xast.walk(module.body):
+        predicates: list = []
+        if isinstance(node, xast.FilterExpr) and \
+                rooted_at_constructor(node.primary):
+            predicates = node.predicates
+        elif isinstance(node, xast.PathExpr) and node.steps:
+            base = node.steps[0]
+            if isinstance(base, xast.ExprStep) and \
+                    rooted_at_constructor(base.expr):
+                for step in node.steps:
+                    predicates.extend(getattr(step, "predicates", []))
+        for predicate in predicates:
+            if isinstance(predicate, xast.PathExpr) and predicate.absolute:
+                flag()
+    return advice
+
+
+def _is_constructor(expr) -> bool:
+    return isinstance(expr, (xast.DirectElementConstructor,
+                             xast.ComputedElementConstructor,
+                             xast.ComputedDocumentConstructor))

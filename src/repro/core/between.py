@@ -1,0 +1,80 @@
+"""Between-predicate detection (Section 3.10).
+
+XQuery has no ``between`` operator, and the existential semantics of
+general comparisons mean ``lineitem[price > 100 and price < 200]`` is
+*not* a between: one price of 250 and another of 50 satisfy it even
+though no price is in the range.  Such a conjunction needs **two**
+index scans whose node sets are intersected (ANDed).
+
+A pair of range predicates collapses into a **single** range scan only
+when the compared item is provably a singleton:
+
+* value comparisons (``price gt 100 and price lt 200``) — they fail at
+  runtime if price is not a singleton;
+* the self axis (``price[. > 100 and . < 200]`` or the
+  ``data()[. > ...]`` form) — '.' binds exactly one node per step;
+* an attribute (``lineitem[@price > 100 and @price < 200]``) — an
+  attribute occurs at most once per element (and list types are
+  prohibited in indexed documents, footnote 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .predicates import PredicateCandidate
+
+
+@dataclass
+class BetweenGroup:
+    """Two range predicates over the same item."""
+
+    lower: PredicateCandidate       # the '>'-ish bound
+    upper: PredicateCandidate       # the '<'-ish bound
+    single_scan: bool               # one range scan vs two ANDed scans
+
+    @property
+    def description(self) -> str:
+        mode = ("single range scan" if self.single_scan
+                else "two index scans + intersection")
+        return (f"between: {self.lower.description} AND "
+                f"{self.upper.description} -> {mode}")
+
+
+_LOWER_OPS = {">", ">=", "gt", "ge"}
+_UPPER_OPS = {"<", "<=", "lt", "le"}
+
+
+def detect_between(candidates: list[PredicateCandidate]
+                   ) -> list[BetweenGroup]:
+    """Pair up range predicates within each conjunction.
+
+    Predicates pair when they constrain the same path on the same
+    column within the same ``and``-conjunction.  The pair collapses to
+    a single range scan only when *both* sides carry a singleton
+    guarantee (see module docstring).
+    """
+    groups: list[BetweenGroup] = []
+    used: set[int] = set()
+    buckets: dict[tuple, list[PredicateCandidate]] = {}
+    for candidate in candidates:
+        if not candidate.is_range or candidate.conjunct_group == 0:
+            continue
+        key = (candidate.column, candidate.conjunct_group,
+               str(candidate.path), candidate.context)
+        buckets.setdefault(key, []).append(candidate)
+
+    for bucket in buckets.values():
+        lowers = [candidate for candidate in bucket
+                  if candidate.op in _LOWER_OPS]
+        uppers = [candidate for candidate in bucket
+                  if candidate.op in _UPPER_OPS]
+        for lower, upper in zip(lowers, uppers):
+            if id(lower) in used or id(upper) in used:
+                continue
+            used.add(id(lower))
+            used.add(id(upper))
+            single = (lower.singleton_guaranteed and
+                      upper.singleton_guaranteed)
+            groups.append(BetweenGroup(lower, upper, single))
+    return groups

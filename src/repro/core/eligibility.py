@@ -1,0 +1,145 @@
+"""Index eligibility: the paper's Definition 1 as an algorithm.
+
+An index ``I`` is eligible to answer predicate ``P`` of query ``Q`` iff
+``Q(D) = Q(I(P, D))`` for every document collection ``D``.  The checker
+decomposes this exactly as Section 2.2 and Section 3 do:
+
+1. the predicate's *context* must let an empty result eliminate a
+   binding (Sections 3.2, 3.4) and must not sit under negation;
+2. the index pattern must be **no more restrictive** than the predicate
+   path — pattern containment, covering namespaces (§3.7), ``/text()``
+   alignment (§3.8) and attribute axes (§3.9);
+3. the comparison's data type must guarantee that every qualifying
+   value is present in the index (§3.1): a DOUBLE index only serves
+   numeric comparisons, a VARCHAR index serves string comparisons and
+   purely structural (existence) predicates, and an unknown comparison
+   type (an uncast join) serves nothing — Tip 1.
+"""
+
+from __future__ import annotations
+
+from ..xquery import ast
+from ..xquery.parser import parse_xquery
+from .patterns import erase_namespaces, pattern_contains
+from .predicates import (FILTERING_CONTEXTS, PredicateCandidate,
+                         PredicateContext, extract_candidates)
+from .report import (EligibilityReport, IndexVerdict, PredicateReport,
+                     Reason)
+
+#: Context -> the reason explaining why it prevents filtering.
+_CONTEXT_REASONS = {
+    PredicateContext.LET_BINDING: Reason.LET_BINDING,
+    PredicateContext.CONSTRUCTOR_CONTENT: Reason.CONSTRUCTOR_CONTENT,
+    PredicateContext.SQL_SELECT_LIST: Reason.SQL_SELECT_LIST,
+    PredicateContext.SQL_BOOLEAN_XMLEXISTS: Reason.BOOLEAN_XMLEXISTS,
+    PredicateContext.SQL_XMLTABLE_COLUMN: Reason.XMLTABLE_COLUMN,
+    PredicateContext.SQL_SCALAR: Reason.SQL_SELECT_LIST,
+    PredicateContext.QUANTIFIED_EVERY: Reason.NEGATION,
+}
+
+
+def check_index(index, candidate: PredicateCandidate) -> IndexVerdict:
+    """Decide whether one XML index can answer one predicate."""
+    reasons: list[Reason] = []
+    detail_parts: list[str] = []
+
+    if candidate.negated:
+        reasons.append(Reason.NEGATION)
+    if candidate.uses_sql_comparison:
+        reasons.append(Reason.SQL_COMPARISON)
+    if candidate.context not in FILTERING_CONTEXTS:
+        reasons.append(_CONTEXT_REASONS.get(candidate.context,
+                                            Reason.LET_BINDING))
+        detail_parts.append(f"context: {candidate.context.value}")
+
+    if not pattern_contains(index.pattern, candidate.path):
+        reasons.append(_classify_pattern_failure(index, candidate))
+        detail_parts.append(
+            f"index pattern '{index.pattern}' does not contain "
+            f"predicate path '{candidate.path}'")
+    else:
+        type_reason = _check_type(index, candidate)
+        if type_reason is not None:
+            reasons.append(type_reason)
+            detail_parts.append(
+                f"comparison type {candidate.operand_type or 'unknown'} "
+                f"vs index type {index.index_type}")
+
+    if not reasons:
+        return IndexVerdict(index.name, True, [Reason.ELIGIBLE],
+                            detail=f"probe {index.index_type} index with "
+                                   f"{candidate.description}")
+    return IndexVerdict(index.name, False, reasons,
+                        detail="; ".join(detail_parts))
+
+
+def _classify_pattern_failure(index, candidate) -> Reason:
+    query_final_kinds = {test.kind for test in candidate.path.final_tests()}
+    index_final_kinds = {test.kind for test in index.pattern.final_tests()}
+    if pattern_contains(erase_namespaces(index.pattern),
+                        erase_namespaces(candidate.path)):
+        return Reason.NAMESPACE_MISMATCH
+    if "text" in query_final_kinds and "text" not in index_final_kinds:
+        return Reason.TEXT_MISALIGNMENT
+    if "text" in index_final_kinds and "text" not in query_final_kinds:
+        return Reason.TEXT_MISALIGNMENT
+    if "attribute" in query_final_kinds and \
+            "attribute" not in index_final_kinds:
+        return Reason.ATTRIBUTE_AXIS
+    return Reason.PATTERN_NOT_CONTAINED
+
+
+def _check_type(index, candidate: PredicateCandidate) -> Reason | None:
+    if candidate.op == "exists":
+        # Structural predicate: only an index guaranteed to contain
+        # every matching node can prove existence — that is VARCHAR
+        # ("all nodes appear in a string index", §2.1).
+        if index.index_type == "VARCHAR":
+            return None
+        return Reason.TYPE_MISMATCH
+    if candidate.operand_type is None:
+        return Reason.TYPE_UNKNOWN
+    if candidate.operand_type == index.index_type:
+        return None
+    return Reason.TYPE_MISMATCH
+
+
+def analyze_candidates(database, candidates: list[PredicateCandidate],
+                       query_text: str = "",
+                       language: str = "xquery") -> EligibilityReport:
+    """Evaluate every candidate against every index on its column."""
+    report = EligibilityReport(query=query_text, language=language)
+    for candidate in candidates:
+        table, _sep, column = candidate.column.partition(".")
+        predicate_report = PredicateReport(
+            description=candidate.description,
+            column=candidate.column,
+            context=candidate.context.value)
+        try:
+            indexes = database.xml_indexes_on(table, column)
+        except Exception:
+            indexes = []
+        for index in indexes:
+            predicate_report.verdicts.append(check_index(index, candidate))
+        report.predicates.append(predicate_report)
+    return report
+
+
+def analyze_eligibility(database, query: str,
+                        language: str = "auto") -> EligibilityReport:
+    """Public entry point: analyze a query's index eligibility.
+
+    ``language`` may be 'xquery', 'sql', or 'auto' (SQL when the text
+    starts with SELECT/VALUES).
+    """
+    if language == "auto":
+        head = query.lstrip().upper()
+        language = ("sql" if head.startswith(("SELECT", "VALUES"))
+                    else "xquery")
+    if language == "sql":
+        from ..sql.analyzer import extract_sql_candidates
+        candidates = extract_sql_candidates(database, query)
+        return analyze_candidates(database, candidates, query, "sql")
+    module = parse_xquery(query)
+    candidates = extract_candidates(module)
+    return analyze_candidates(database, candidates, query, "xquery")

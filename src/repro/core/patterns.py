@@ -1,0 +1,492 @@
+"""Linear path patterns: XMLPATTERN parsing, matching, and containment.
+
+This module owns the path language shared by index definitions and by
+query-side predicate paths:
+
+* :func:`parse_xmlpattern` implements the paper's §2.1 CREATE INDEX
+  grammar (namespace declarations, ``/`` and ``//`` separators, the
+  ``@``/``child::``/``attribute::``/``self::``/``descendant::``/
+  ``descendant-or-self::`` axes, name tests with namespace wildcards,
+  and kind tests; predicates are not allowed).
+* :meth:`LinearPattern.matches_path` decides whether a concrete
+  root-to-node path matches a pattern (used at indexing time and to
+  apply path restrictions during index scans).
+* :func:`pattern_contains` decides *containment*: every path matched by
+  the query pattern is matched by the index pattern.  That is the
+  structural half of Definition 1 — "an index cannot be used ... if the
+  index expression is more restrictive than the query expression".
+
+Containment is decided by canonical models (in the style of Miklau &
+Suciu): instantiate each wildcard with a fresh name and each ``//``-gap
+with fresh-element chains of every length up to ``len(index) + 1``,
+then check that the index pattern matches every such concrete path.
+For linear patterns (no branching predicates) this bound is complete;
+if the number of canonical paths explodes past a safety cap we return
+False, which is *sound* for eligibility (we only ever refuse to use an
+index, never use one incorrectly).
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass
+
+from ..errors import PatternSyntaxError
+from ..xdm.qname import QName
+
+#: Node kinds a ``node()`` kind test can produce via the child axis.
+#: Attributes are deliberately absent: ``//node()`` expands to
+#: ``/descendant-or-self::node()/child::node()`` and the child axis
+#: never yields attributes (Section 3.9, Tip 12).
+_CHILD_NODE_KINDS = ("element", "text", "comment", "processing-instruction")
+
+
+@dataclass(frozen=True)
+class PathComponent:
+    """One concrete step of a root-to-node path: (kind, uri, local)."""
+
+    kind: str
+    uri: str = ""
+    local: str = ""
+
+    @classmethod
+    def from_node_step(cls, step: tuple[str, QName | None]
+                       ) -> "PathComponent":
+        kind, name = step
+        if name is None:
+            return cls(kind)
+        return cls(kind, name.uri, name.local)
+
+
+@dataclass(frozen=True)
+class StepTest:
+    """A test against one path component.
+
+    ``uri``/``local`` semantics: None = wildcard, "" = empty namespace.
+    ``kind == 'node'`` matches any child-axis node kind.
+    """
+
+    kind: str
+    uri: str | None = None
+    local: str | None = None
+    pi_target: str | None = None
+
+    def matches(self, component: PathComponent) -> bool:
+        if self.kind == "node":
+            if component.kind not in _CHILD_NODE_KINDS:
+                return False
+        elif self.kind != component.kind:
+            return False
+        if self.kind in ("element", "attribute"):
+            if self.uri is not None and component.uri != self.uri:
+                return False
+            if self.local is not None and component.local != self.local:
+                return False
+        if (self.kind == "processing-instruction"
+                and self.pi_target is not None
+                and component.local != self.pi_target):
+            return False
+        return True
+
+    def __str__(self) -> str:
+        if self.kind in ("element", "attribute"):
+            uri = "*:" if self.uri is None else (
+                f"{{{self.uri}}}" if self.uri else "")
+            local = "*" if self.local is None else self.local
+            prefix = "@" if self.kind == "attribute" else ""
+            return f"{prefix}{uri}{local}"
+        target = self.pi_target or ""
+        return f"{self.kind}({target})"
+
+
+@dataclass(frozen=True)
+class PatternStep:
+    """One pattern step; ``gap`` means any depth may precede it (//)."""
+
+    test: StepTest
+    gap: bool = False
+    extra_tests: tuple[StepTest, ...] = ()
+
+    def matches(self, component: PathComponent) -> bool:
+        return (self.test.matches(component) and
+                all(test.matches(component) for test in self.extra_tests))
+
+    def __str__(self) -> str:
+        separator = "//" if self.gap else "/"
+        extra = "".join(f"[self::{test}]" for test in self.extra_tests)
+        return f"{separator}{self.test}{extra}"
+
+
+@dataclass(frozen=True)
+class LinearPattern:
+    """A sequence of pattern steps matched against root-to-node paths."""
+
+    steps: tuple[PatternStep, ...]
+
+    def __str__(self) -> str:
+        return "".join(str(step) for step in self.steps)
+
+    @property
+    def final_test(self) -> StepTest:
+        return self.steps[-1].test
+
+    def matches_path(self, components: list[PathComponent]) -> bool:
+        """NFA simulation: does the full path match this pattern?"""
+        steps = self.steps
+        step_count = len(steps)
+        states = {0}
+        for component in components:
+            next_states = set()
+            for state in states:
+                if state < step_count:
+                    step = steps[state]
+                    if step.matches(component):
+                        next_states.add(state + 1)
+                    if step.gap:
+                        next_states.add(state)  # consume inside the gap
+            states = next_states
+            if not states:
+                return False
+        return step_count in states
+
+    # -- canonical models ------------------------------------------------
+
+    def canonical_paths(self, max_gap: int,
+                        cap: int = 50_000) -> list[list[PathComponent]] | None:
+        """Representative concrete paths of this pattern.
+
+        Gap steps expand to fresh-element chains of length ``0..max_gap``;
+        wildcards become fresh names; ``node()`` tests expand across all
+        child node kinds.  Returns None if the enumeration would exceed
+        ``cap`` paths (callers must then be conservative).
+        """
+        per_step_options: list[list[list[PathComponent]]] = []
+        fresh_counter = itertools.count()
+
+        for position, step in enumerate(self.steps):
+            components = _canonical_components(step, fresh_counter)
+            if position < len(self.steps) - 1:
+                # Feasibility applied early: every non-final component
+                # of a real root-to-node path is an element, so other
+                # kind expansions would be filtered later anyway.
+                components = [component for component in components
+                              if component.kind == "element"]
+            if not components:
+                # Unsatisfiable step (conflicting self tests): the
+                # pattern matches nothing, so any index contains it.
+                return []
+            options: list[list[PathComponent]] = []
+            gap_lengths = range(max_gap + 1) if step.gap else (0,)
+            for gap_length in gap_lengths:
+                chain = [PathComponent(
+                    "element",
+                    f"\x00gap-uri-{next(fresh_counter)}",
+                    f"\x00gap-{next(fresh_counter)}")
+                    for _ in range(gap_length)]
+                for component in components:
+                    options.append(chain + [component])
+            per_step_options.append(options)
+
+        total = 1
+        for options in per_step_options:
+            total *= len(options)
+            if total > cap:
+                return None
+        paths: list[list[PathComponent]] = []
+        for combination in itertools.product(*per_step_options):
+            path: list[PathComponent] = []
+            for piece in combination:
+                path.extend(piece)
+            # Only feasible document paths count as counterexamples: in a
+            # real tree every non-final component of a root-to-node path
+            # is an element (attributes/text/PIs have no children).
+            if any(component.kind != "element" for component in path[:-1]):
+                continue
+            # Attributes and text nodes always hang off an element, so a
+            # length-1 path of those kinds cannot occur either.
+            if (path and path[-1].kind in ("attribute", "text")
+                    and len(path) == 1):
+                continue
+            paths.append(path)
+        return paths
+
+
+def _canonical_components(step: PatternStep,
+                          fresh_counter) -> list[PathComponent]:
+    """Concrete components representing one pattern step."""
+    tests = (step.test,) + step.extra_tests
+    kinds: set[str] | None = None
+    for test in tests:
+        own = (set(_CHILD_NODE_KINDS) if test.kind == "node"
+               else {test.kind})
+        kinds = own if kinds is None else (kinds & own)
+    assert kinds is not None
+
+    components: list[PathComponent] = []
+    for kind in sorted(kinds):
+        if kind in ("element", "attribute"):
+            uri: str | None = None
+            local: str | None = None
+            consistent = True
+            for test in tests:
+                if test.kind == "node":
+                    continue
+                if test.uri is not None:
+                    if uri is not None and uri != test.uri:
+                        consistent = False
+                        break
+                    uri = test.uri
+                if test.local is not None:
+                    if local is not None and local != test.local:
+                        consistent = False
+                        break
+                    local = test.local
+            if not consistent:
+                continue
+            if uri is None:
+                uri = f"\x00fresh-uri-{next(fresh_counter)}"
+            if local is None:
+                local = f"\x00fresh-{next(fresh_counter)}"
+            components.append(PathComponent(kind, uri, local))
+        elif kind == "processing-instruction":
+            target = None
+            for test in tests:
+                if test.pi_target is not None:
+                    target = test.pi_target
+            components.append(PathComponent(
+                kind, "", target or f"\x00fresh-pi-{next(fresh_counter)}"))
+        else:
+            components.append(PathComponent(kind))
+    return components
+
+
+@dataclass(frozen=True)
+class PathPattern:
+    """A union of linear patterns (descendant-or-self expansion)."""
+
+    alternatives: tuple[LinearPattern, ...]
+    source: str = ""
+
+    def __str__(self) -> str:
+        return self.source or " | ".join(str(alternative)
+                                         for alternative in self.alternatives)
+
+    def matches_path(self, components: list[PathComponent]) -> bool:
+        return any(alternative.matches_path(components)
+                   for alternative in self.alternatives)
+
+    def matches_node(self, node) -> bool:
+        components = [PathComponent.from_node_step(step)
+                      for step in node.path_steps()]
+        return self.matches_path(components)
+
+    @property
+    def max_steps(self) -> int:
+        return max(len(alternative.steps)
+                   for alternative in self.alternatives)
+
+    def final_tests(self) -> list[StepTest]:
+        return [alternative.final_test for alternative in self.alternatives]
+
+
+def erase_namespaces(pattern: PathPattern) -> PathPattern:
+    """A copy of ``pattern`` with every namespace test wildcarded.
+
+    Used for diagnosis only: if containment succeeds on the erased
+    patterns but failed on the originals, the mismatch is a namespace
+    problem (Section 3.7) rather than a structural one.
+    """
+    def erase_test(test: StepTest) -> StepTest:
+        if test.kind in ("element", "attribute"):
+            return StepTest(test.kind, uri=None, local=test.local,
+                            pi_target=test.pi_target)
+        return test
+
+    alternatives = []
+    for alternative in pattern.alternatives:
+        steps = tuple(
+            PatternStep(erase_test(step.test), step.gap,
+                        tuple(erase_test(extra)
+                              for extra in step.extra_tests))
+            for step in alternative.steps)
+        alternatives.append(LinearPattern(steps))
+    return PathPattern(tuple(alternatives))
+
+
+def pattern_contains(index_pattern: PathPattern,
+                     query_pattern: PathPattern) -> bool:
+    """True when every path matched by ``query_pattern`` is matched by
+    ``index_pattern`` — i.e. the index is no more restrictive than the
+    query (§2.2).  Sound; complete for linear patterns within the cap.
+    """
+    max_gap = index_pattern.max_steps + 1
+    for alternative in query_pattern.alternatives:
+        canonical = alternative.canonical_paths(max_gap)
+        if canonical is None:
+            return False  # too many models: refuse (sound)
+        for path in canonical:
+            if not index_pattern.matches_path(path):
+                return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# XMLPATTERN parsing (§2.1 grammar)
+# ---------------------------------------------------------------------------
+
+_DECLARE_DEFAULT_RE = re.compile(
+    r"declare\s+default\s+element\s+namespace\s+"
+    r"(?:\"([^\"]*)\"|'([^']*)')\s*;")
+_DECLARE_PREFIX_RE = re.compile(
+    r"declare\s+namespace\s+([A-Za-z_][\w.\-]*)\s*=\s*"
+    r"(?:\"([^\"]*)\"|'([^']*)')\s*;")
+
+_NCNAME = r"[A-Za-z_][\w.\-]*"
+_STEP_RE = re.compile(
+    rf"""
+    (?P<sep>//|/)
+    (?P<axis>@|child::|attribute::|self::|descendant::|
+             descendant-or-self::)?
+    (?P<test>
+        (?:{_NCNAME}:)?{_NCNAME}\(\s*(?:{_NCNAME})?\s*\)   # kind test
+        | \*:{_NCNAME}                                      # *:local
+        | (?:{_NCNAME}|\*):\*                               # prefix:* or *:*
+        | {_NCNAME}:{_NCNAME}                               # qname
+        | {_NCNAME}                                         # name
+        | \*                                                # *
+    )
+    """,
+    re.VERBOSE)
+
+_KIND_TEST_RE = re.compile(
+    rf"(?P<name>{_NCNAME})\(\s*(?P<arg>{_NCNAME})?\s*\)$")
+
+_KIND_TEST_NAMES = {"node", "text", "comment", "processing-instruction"}
+
+
+def parse_xmlpattern(text: str) -> PathPattern:
+    """Parse an XMLPATTERN string into a :class:`PathPattern`."""
+    source = text.strip()
+    remaining = source
+    default_ns = ""
+    namespaces: dict[str, str] = {}
+
+    while True:
+        match = _DECLARE_DEFAULT_RE.match(remaining)
+        if match:
+            default_ns = match.group(1) or match.group(2) or ""
+            remaining = remaining[match.end():].lstrip()
+            continue
+        match = _DECLARE_PREFIX_RE.match(remaining)
+        if match:
+            namespaces[match.group(1)] = (match.group(2) or
+                                          match.group(3) or "")
+            remaining = remaining[match.end():].lstrip()
+            continue
+        break
+
+    if not remaining.startswith("/"):
+        raise PatternSyntaxError(
+            f"XMLPATTERN must start with '/' or '//': {text!r}")
+
+    # Expand descendant-or-self into a union of linear alternatives.
+    alternatives: list[list[PatternStep]] = [[]]
+    position = 0
+    while position < len(remaining):
+        match = _STEP_RE.match(remaining, position)
+        if not match:
+            raise PatternSyntaxError(
+                f"malformed XMLPATTERN step at {remaining[position:]!r}")
+        position = match.end()
+        gap = match.group("sep") == "//"
+        axis = (match.group("axis") or "child::").rstrip(":")
+        if axis == "@":
+            axis = "attribute"
+        test_text = match.group("test")
+        test = _parse_step_test(test_text, axis, namespaces, default_ns)
+
+        if axis == "self":
+            extended: list[list[PatternStep]] = []
+            for alternative in alternatives:
+                if gap:
+                    # '//self::T' ≡ descendant-or-self with extra test.
+                    extended.append(alternative +
+                                    [PatternStep(test, gap=True)])
+                elif alternative:
+                    last = alternative[-1]
+                    extended.append(
+                        alternative[:-1] +
+                        [PatternStep(last.test, last.gap,
+                                     last.extra_tests + (test,))])
+                else:
+                    raise PatternSyntaxError(
+                        "self:: axis requires a preceding step")
+            alternatives = extended
+        elif axis == "descendant":
+            alternatives = [alternative + [PatternStep(test, gap=True)]
+                            for alternative in alternatives]
+        elif axis == "descendant-or-self":
+            # Union: (extra test on the previous step) OR (gap step).
+            extended = []
+            for alternative in alternatives:
+                extended.append(alternative + [PatternStep(test, gap=True)])
+                if alternative:
+                    last = alternative[-1]
+                    extended.append(
+                        alternative[:-1] +
+                        [PatternStep(last.test, last.gap,
+                                     last.extra_tests + (test,))])
+            alternatives = extended
+        else:  # child / attribute
+            alternatives = [alternative + [PatternStep(test, gap=gap)]
+                            for alternative in alternatives]
+
+    if position != len(remaining.rstrip()):
+        raise PatternSyntaxError(
+            f"trailing input in XMLPATTERN: {remaining[position:]!r}")
+
+    linear = tuple(LinearPattern(tuple(steps))
+                   for steps in alternatives if steps)
+    if not linear:
+        raise PatternSyntaxError(f"empty XMLPATTERN {text!r}")
+    return PathPattern(linear, source=source)
+
+
+def _parse_step_test(text: str, axis: str, namespaces: dict[str, str],
+                     default_ns: str) -> StepTest:
+    kind_match = _KIND_TEST_RE.match(text)
+    if kind_match and (kind_match.group("name") in _KIND_TEST_NAMES):
+        name = kind_match.group("name")
+        if name == "processing-instruction":
+            return StepTest("processing-instruction",
+                            pi_target=kind_match.group("arg"))
+        if kind_match.group("arg"):
+            raise PatternSyntaxError(f"{name}() takes no argument")
+        if name == "node":
+            if axis == "attribute":
+                return StepTest("attribute")
+            return StepTest("node")
+        return StepTest(name)
+
+    kind = "attribute" if axis == "attribute" else "element"
+    # Default element namespaces never apply to attributes (§3.7).
+    applicable_default = "" if kind == "attribute" else default_ns
+
+    if text == "*":
+        return StepTest(kind)
+    if text.startswith("*:"):
+        return StepTest(kind, uri=None, local=text[2:])
+    if text.endswith(":*"):
+        prefix = text[:-2]
+        if prefix not in namespaces:
+            raise PatternSyntaxError(
+                f"undeclared namespace prefix {prefix!r} in XMLPATTERN")
+        return StepTest(kind, uri=namespaces[prefix], local=None)
+    if ":" in text:
+        prefix, local = text.split(":", 1)
+        if prefix not in namespaces:
+            raise PatternSyntaxError(
+                f"undeclared namespace prefix {prefix!r} in XMLPATTERN")
+        return StepTest(kind, uri=namespaces[prefix], local=local)
+    return StepTest(kind, uri=applicable_default, local=text)

@@ -1,0 +1,329 @@
+"""View flattening: the §3.6 transformation, with its guard conditions.
+
+Section 3.6 describes users defining XML views by construction
+(Query 26) and expecting the system to push selections and projections
+down to the base collection (Query 27) "to simplify the query and
+improve the performance by enabling indexes" — then lists five hazards
+that make the naive rewrite wrong.  This module implements the
+transformation the way the paper prescribes:
+
+* comparisons against constructed element content are compensated with
+  ``xdt:untypedAtomic(string-join(base-path/data(.), ' '))`` — which
+  preserves hazards 1 (untyped comparison), 2 (double conversion of
+  large integers) and 3 (multi-value concatenation) exactly;
+* attribute copies are only flattened when the source attribute hangs
+  directly off the view's binding item, so the original's
+  duplicate-attribute error behaviour (hazard 4) cannot diverge;
+* the rewrite is refused outright when the module contains node
+  identity-sensitive operations (``is``, ``<<``, ``>>``, ``union``,
+  ``intersect``, ``except``) anywhere, because flattening replaces
+  fresh copies with base nodes (hazard 5).
+
+The entry point returns a :class:`RewriteResult`: either a flattened
+module (on which base-collection indexes become eligible) or the
+original module plus the hazards that blocked the transformation.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+from dataclasses import dataclass, field
+
+from ..xdm import atomic
+from ..xdm.qname import FN_NS, QName, XDT_NS
+from ..xquery import ast
+
+
+@dataclass
+class RewriteResult:
+    module: ast.Module
+    applied: bool
+    hazards: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+
+@dataclass
+class _ViewItem:
+    """What one piece of the view constructor exposes."""
+
+    kind: str                   # 'attribute' | 'atomized-element'
+    name: str                   # view-relative name (local)
+    base_expr: ast.Expr         # expression over the base variable
+
+
+def rewrite_view_flattening(module: ast.Module) -> RewriteResult:
+    """Attempt the §3.6 view-flattening rewrite on a module."""
+    body = module.body
+    if not isinstance(body, ast.FLWORExpr) or not body.clauses:
+        return RewriteResult(module, False)
+    first = body.clauses[0]
+    if not isinstance(first, ast.LetClause):
+        return RewriteResult(module, False)
+    view_var = first.var
+    view_definition = first.expr
+
+    hazards: list[str] = []
+
+    # Hazard 5: node identity — bail out if the module compares or
+    # set-operates on nodes anywhere.
+    for node in ast.walk(module.body):
+        if isinstance(node, ast.SetExpr):
+            hazards.append(
+                "hazard 5 (§3.6): module uses "
+                f"'{node.op}', which is sensitive to node identity; "
+                "flattening would replace constructed copies with base "
+                "nodes and change the result")
+        if isinstance(node, ast.NodeComparison):
+            hazards.append(
+                "hazard 5 (§3.6): module uses node comparison "
+                f"'{node.op}'")
+    if hazards:
+        return RewriteResult(module, False, hazards)
+
+    parsed = _parse_view_definition(view_definition, hazards)
+    if parsed is None:
+        return RewriteResult(module, False, hazards)
+    base_var, base_path, items = parsed
+
+    consumer = _parse_consumer(body, view_var)
+    if consumer is None:
+        return RewriteResult(module, False,
+                             hazards + ["consumer shape not supported: "
+                                        "expected for $x in $view "
+                                        "[where ...] return ..."])
+    consumer_var, where_expr, return_expr, trailing_clauses = consumer
+
+    item_map = {item.name: item for item in items}
+    notes: list[str] = []
+
+    try:
+        new_where = (_rewrite_predicate(where_expr, consumer_var,
+                                        item_map, base_var, notes)
+                     if where_expr is not None else None)
+        new_return = _rewrite_projection(return_expr, consumer_var,
+                                         item_map, base_var,
+                                         view_definition, notes)
+    except _CannotRewrite as blocked:
+        return RewriteResult(module, False, hazards + [str(blocked)])
+
+    clauses: list[ast.Clause] = [ast.ForClause(base_var, base_path)]
+    if new_where is not None:
+        clauses.append(ast.WhereClause(new_where))
+    clauses.extend(trailing_clauses)
+    flattened = ast.FLWORExpr(clauses, new_return)
+    new_module = ast.Module(module.prolog, flattened)
+    notes.insert(0, "view flattened onto the base collection (§3.6); "
+                    "base-column indexes are now eligible")
+    return RewriteResult(new_module, True, [], notes)
+
+
+class _CannotRewrite(Exception):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# View definition analysis
+# ---------------------------------------------------------------------------
+
+def _parse_view_definition(expr: ast.Expr, hazards: list[str]):
+    """Match ``for $i in <path> return <name>{items}</name>``."""
+    if not isinstance(expr, ast.FLWORExpr):
+        return None
+    if len(expr.clauses) != 1 or not isinstance(expr.clauses[0],
+                                                ast.ForClause):
+        return None
+    base_var = expr.clauses[0].var
+    base_path = expr.clauses[0].expr
+    constructor = expr.return_expr
+    if not isinstance(constructor, ast.DirectElementConstructor):
+        return None
+    if constructor.attributes:
+        hazards.append("view constructors with literal attributes are "
+                       "not flattened")
+        return None
+
+    items: list[_ViewItem] = []
+    content = list(constructor.content)
+    # Unwrap a single enclosed sequence expression.
+    if len(content) == 1 and isinstance(content[0], ast.SequenceExpr):
+        content = list(content[0].items)
+    for piece in content:
+        item = _parse_view_item(piece, base_var, hazards)
+        if item is None:
+            return None
+        items.append(item)
+    return base_var, base_path, items
+
+
+def _parse_view_item(piece, base_var: str,
+                     hazards: list[str]) -> _ViewItem | None:
+    # Case 1: $i/@attr — an attribute copied from the binding item.
+    if isinstance(piece, ast.PathExpr) and not piece.absolute:
+        steps = piece.steps
+        if (len(steps) == 2 and isinstance(steps[0], ast.ExprStep)
+                and isinstance(steps[0].expr, ast.VarRef)
+                and steps[0].expr.name == base_var
+                and isinstance(steps[1], ast.AxisStep)
+                and steps[1].axis == "attribute"
+                and isinstance(steps[1].test, ast.NameTest)
+                and steps[1].test.local is not None):
+            return _ViewItem("attribute", steps[1].test.local, piece)
+        hazards.append(
+            "hazard 4 (§3.6): attribute content not directly on the "
+            "binding item cannot be proven duplicate-free; refusing")
+        return None
+    # Case 2: <name>{ path/data(.) }</name> — an atomized element.
+    if isinstance(piece, ast.DirectElementConstructor):
+        if piece.attributes or len(piece.content) != 1:
+            hazards.append("nested view constructor too complex to "
+                           "flatten")
+            return None
+        inner = piece.content[0]
+        if isinstance(inner, str):
+            hazards.append("literal text content is not flattened")
+            return None
+        return _ViewItem("atomized-element", piece.name, inner)
+    hazards.append(f"unsupported view content {type(piece).__name__}")
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Consumer analysis
+# ---------------------------------------------------------------------------
+
+def _parse_consumer(body: ast.FLWORExpr, view_var: str):
+    """Match ``for $j in $view [where P] return R`` after the let."""
+    clauses = body.clauses[1:]
+    if not clauses or not isinstance(clauses[0], ast.ForClause):
+        return None
+    for_clause = clauses[0]
+    if not (isinstance(for_clause.expr, ast.VarRef)
+            and for_clause.expr.name == view_var):
+        return None
+    where_expr = None
+    trailing: list[ast.Clause] = []
+    for clause in clauses[1:]:
+        if isinstance(clause, ast.WhereClause) and where_expr is None:
+            where_expr = clause.expr
+        elif isinstance(clause, ast.OrderByClause):
+            trailing.append(clause)
+        else:
+            return None
+    return for_clause.var, where_expr, body.return_expr, trailing
+
+
+# ---------------------------------------------------------------------------
+# Expression rewriting
+# ---------------------------------------------------------------------------
+
+def _compensated_value(item: _ViewItem, notes: list[str]) -> ast.Expr:
+    """The paper's safe compensation for constructed-element content:
+    ``xdt:untypedAtomic(string-join(<base>/data(.), ' '))``."""
+    if item.kind == "attribute":
+        return _copy.deepcopy(item.base_expr)
+    data_expr = _ensure_atomized(_copy.deepcopy(item.base_expr))
+    joined = ast.FunctionCall(
+        QName(FN_NS, "string-join", "fn"),
+        [data_expr, ast.Literal(atomic.string(" "))])
+    notes.append(
+        f"comparison on view element '{item.name}' compensated with "
+        "xdt:untypedAtomic(string-join(..., ' ')) per §3.6")
+    return ast.FunctionCall(QName(XDT_NS, "untypedAtomic", "xdt"),
+                            [joined])
+
+
+def _ensure_atomized(expr: ast.Expr) -> ast.Expr:
+    """Append /data(.) when the content expression isn't atomized."""
+    if isinstance(expr, ast.PathExpr) and expr.steps:
+        last = expr.steps[-1]
+        if isinstance(last, ast.ExprStep) and \
+                isinstance(last.expr, ast.FunctionCall) and \
+                last.expr.name.local == "data":
+            return expr
+        expr.steps.append(ast.ExprStep(ast.FunctionCall(
+            QName(FN_NS, "data", "fn"), [ast.ContextItem()])))
+        return expr
+    return ast.FunctionCall(QName(FN_NS, "data", "fn"), [expr])
+
+
+def _view_step(expr: ast.Expr, consumer_var: str):
+    """Match ``$j/<one step>`` and return (axis, local) or None."""
+    if not (isinstance(expr, ast.PathExpr) and not expr.absolute):
+        return None
+    steps = expr.steps
+    if not (len(steps) == 2 and isinstance(steps[0], ast.ExprStep)
+            and isinstance(steps[0].expr, ast.VarRef)
+            and steps[0].expr.name == consumer_var
+            and isinstance(steps[1], ast.AxisStep)
+            and isinstance(steps[1].test, ast.NameTest)
+            and not steps[1].predicates):
+        return None
+    return steps[1].axis, steps[1].test.local
+
+
+def _rewrite_predicate(expr: ast.Expr, consumer_var: str,
+                       item_map: dict[str, _ViewItem], base_var: str,
+                       notes: list[str]) -> ast.Expr:
+    if isinstance(expr, ast.AndExpr):
+        return ast.AndExpr(
+            _rewrite_predicate(expr.left, consumer_var, item_map,
+                               base_var, notes),
+            _rewrite_predicate(expr.right, consumer_var, item_map,
+                               base_var, notes))
+    if isinstance(expr, (ast.GeneralComparison, ast.ValueComparison)):
+        left = _rewrite_operand(expr.left, consumer_var, item_map, notes)
+        right = _rewrite_operand(expr.right, consumer_var, item_map,
+                                 notes)
+        return type(expr)(expr.op, left, right)
+    raise _CannotRewrite(
+        f"predicate {type(expr).__name__} over the view is not "
+        "flattenable")
+
+
+def _rewrite_operand(expr: ast.Expr, consumer_var: str,
+                     item_map: dict[str, _ViewItem],
+                     notes: list[str]) -> ast.Expr:
+    matched = _view_step(expr, consumer_var)
+    if matched is None:
+        if any(isinstance(node, ast.VarRef) and node.name == consumer_var
+               for node in ast.walk(expr)):
+            raise _CannotRewrite(
+                "view variable used in an unflattenable operand shape")
+        return _copy.deepcopy(expr)
+    axis, local = matched
+    item = item_map.get(local)
+    if item is None:
+        raise _CannotRewrite(
+            f"view exposes no item named '{local}'")
+    if axis == "attribute" and item.kind != "attribute":
+        raise _CannotRewrite(
+            f"'@{local}' does not name an attribute in the view")
+    return _compensated_value(item, notes)
+
+
+def _rewrite_projection(expr: ast.Expr, consumer_var: str,
+                        item_map: dict[str, _ViewItem], base_var: str,
+                        view_definition: ast.Expr,
+                        notes: list[str]) -> ast.Expr:
+    # Whole-item projection: re-inline the constructor.
+    if isinstance(expr, ast.VarRef) and expr.name == consumer_var:
+        assert isinstance(view_definition, ast.FLWORExpr)
+        return _copy.deepcopy(view_definition.return_expr)
+    matched = _view_step(expr, consumer_var)
+    if matched is not None:
+        axis, local = matched
+        item = item_map.get(local)
+        if item is None:
+            raise _CannotRewrite(
+                f"view exposes no item named '{local}'")
+        if item.kind == "attribute":
+            return _copy.deepcopy(item.base_expr)
+        # Rebuild the single-element constructor for this item.
+        return ast.DirectElementConstructor(
+            item.name, {}, [], [_copy.deepcopy(item.base_expr)])
+    if any(isinstance(node, ast.VarRef) and node.name == consumer_var
+           for node in ast.walk(expr)):
+        raise _CannotRewrite(
+            "return clause uses the view variable in an unflattenable "
+            "shape")
+    return _copy.deepcopy(expr)

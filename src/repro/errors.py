@@ -1,0 +1,92 @@
+"""Error taxonomy for the repro XML database.
+
+XQuery errors carry the W3C ``err:*`` codes the paper relies on (for
+example the ``XPDY0050`` type error raised by a leading ``/`` under a
+constructed element in Query 25, or the ``XQDY0025`` duplicate-attribute
+error of Section 3.6).  SQL errors carry SQLSTATE-like codes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class XMLParseError(ReproError):
+    """Raised when a document is not well-formed XML."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class SchemaValidationError(ReproError):
+    """Raised when a document does not conform to its assigned schema."""
+
+
+class XQueryError(ReproError):
+    """An XQuery static, dynamic, or type error with a W3C error code."""
+
+    #: Default W3C error code; subclasses and call sites may override.
+    code = "FOER0000"
+
+    def __init__(self, message: str, code: str | None = None):
+        if code is not None:
+            self.code = code
+        super().__init__(f"[err:{self.code}] {message}")
+
+
+class XQueryStaticError(XQueryError):
+    """Error detected during parsing / static analysis (XPST*)."""
+
+    code = "XPST0003"
+
+
+class XQueryTypeError(XQueryError):
+    """Dynamic type error (XPTY*, FORG*, FOTY*)."""
+
+    code = "XPTY0004"
+
+
+class XQueryDynamicError(XQueryError):
+    """Generic dynamic evaluation error (XPDY*, FO*)."""
+
+    code = "XPDY0002"
+
+
+class CastError(XQueryTypeError):
+    """A value could not be cast to the requested atomic type (FORG0001)."""
+
+    code = "FORG0001"
+
+
+class SQLError(ReproError):
+    """An SQL compile-time or runtime error with an SQLSTATE-like code."""
+
+    def __init__(self, message: str, sqlstate: str = "42000"):
+        self.sqlstate = sqlstate
+        super().__init__(f"[SQLSTATE {sqlstate}] {message}")
+
+
+class SQLSyntaxError(SQLError):
+    def __init__(self, message: str):
+        super().__init__(message, sqlstate="42601")
+
+
+class SQLCastError(SQLError):
+    """XMLCAST failures: non-singleton input or value out of range."""
+
+    def __init__(self, message: str):
+        super().__init__(message, sqlstate="22001")
+
+
+class CatalogError(ReproError):
+    """Unknown or duplicate table / column / index names."""
+
+
+class PatternSyntaxError(ReproError):
+    """Raised for malformed XMLPATTERN index definitions."""

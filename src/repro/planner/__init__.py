@@ -1,0 +1,9 @@
+"""Planner: index-prefilter plan selection and execution statistics."""
+
+from .plan import (ColumnPrefilter, PrefilteredDatabase, QueryResult,
+                   execute_xquery, explain_xquery, plan_prefilters)
+from .stats import ExecutionStats
+
+__all__ = ["ColumnPrefilter", "ExecutionStats", "PrefilteredDatabase",
+           "QueryResult", "execute_xquery", "explain_xquery",
+           "plan_prefilters"]

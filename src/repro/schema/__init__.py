@@ -1,0 +1,6 @@
+"""Schema-lite validation: per-document type annotation."""
+
+from .schema import Schema, TypeDeclaration
+from .validator import validate
+
+__all__ = ["Schema", "TypeDeclaration", "validate"]

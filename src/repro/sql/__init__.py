@@ -1,0 +1,8 @@
+"""SQL/XML engine: parser, analyzer, and executor."""
+
+from .executor import SQLResult, execute_sql
+from .parser import parse_statement
+from .values import SQLType, XMLValue, sql_compare
+
+__all__ = ["SQLResult", "SQLType", "XMLValue", "execute_sql",
+           "parse_statement", "sql_compare"]

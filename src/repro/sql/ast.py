@@ -1,0 +1,169 @@
+"""SQL/XML abstract syntax tree (SELECT/VALUES subset)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from .values import SQLType
+
+
+class SQLExpr:
+    __slots__ = ()
+
+
+@dataclass
+class SQLLiteral(SQLExpr):
+    value: object  # int | Decimal | float | str | None
+
+
+@dataclass
+class ColumnRef(SQLExpr):
+    qualifier: Optional[str]   # table name or alias (lower-case) or None
+    name: str                  # column name (lower-case)
+
+    def __str__(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass
+class PassingArg:
+    expr: SQLExpr
+    variable: str              # XQuery variable name (case-sensitive)
+
+
+@dataclass
+class XMLQueryExpr(SQLExpr):
+    xquery: str
+    passing: list[PassingArg] = field(default_factory=list)
+
+
+@dataclass
+class XMLExistsExpr(SQLExpr):
+    xquery: str
+    passing: list[PassingArg] = field(default_factory=list)
+
+
+@dataclass
+class XMLCastExpr(SQLExpr):
+    operand: SQLExpr
+    target: SQLType
+
+
+@dataclass
+class XMLElementExpr(SQLExpr):
+    name: str
+    attributes: list[tuple[str, SQLExpr]] = field(default_factory=list)
+    content: list[SQLExpr] = field(default_factory=list)
+
+
+@dataclass
+class XMLForestExpr(SQLExpr):
+    items: list[tuple[str, SQLExpr]] = field(default_factory=list)
+
+
+@dataclass
+class XMLConcatExpr(SQLExpr):
+    items: list[SQLExpr] = field(default_factory=list)
+
+
+@dataclass
+class AggregateExpr(SQLExpr):
+    """COUNT/SUM/AVG/MIN/MAX; ``argument=None`` means COUNT(*)."""
+
+    function: str                    # COUNT | SUM | AVG | MIN | MAX
+    argument: Optional[SQLExpr]
+    distinct: bool = False
+
+
+@dataclass
+class Comparison(SQLExpr):
+    op: str                    # = <> < <= > >=
+    left: SQLExpr
+    right: SQLExpr
+
+
+@dataclass
+class AndCond(SQLExpr):
+    left: SQLExpr
+    right: SQLExpr
+
+
+@dataclass
+class OrCond(SQLExpr):
+    left: SQLExpr
+    right: SQLExpr
+
+
+@dataclass
+class NotCond(SQLExpr):
+    operand: SQLExpr
+
+
+@dataclass
+class IsNullCond(SQLExpr):
+    operand: SQLExpr
+    negated: bool = False
+
+
+@dataclass
+class TableRef:
+    name: str                  # lower-case table name
+    alias: str                 # lower-case alias (defaults to name)
+
+
+@dataclass
+class XMLTableColumn:
+    name: str                  # result column name (lower-case)
+    sql_type: Optional[SQLType]    # None for FOR ORDINALITY
+    path: Optional[str]        # column XQuery (default: column name)
+    by_ref: bool = False
+    for_ordinality: bool = False
+
+
+@dataclass
+class XMLTableRef:
+    row_xquery: str
+    passing: list[PassingArg]
+    columns: list[XMLTableColumn]
+    alias: str
+    column_aliases: list[str] = field(default_factory=list)
+
+
+FromRef = Union[TableRef, XMLTableRef]
+
+
+@dataclass
+class SelectItem:
+    expr: SQLExpr
+    alias: Optional[str] = None
+
+
+@dataclass
+class SelectStmt:
+    items: list[SelectItem]
+    from_refs: list[FromRef]
+    where: Optional[SQLExpr] = None
+    group_by: list[SQLExpr] = field(default_factory=list)
+    having: Optional[SQLExpr] = None
+    order_by: list[tuple[SQLExpr, bool]] = field(default_factory=list)
+    # (expr, descending)
+
+
+@dataclass
+class ValuesStmt:
+    exprs: list[SQLExpr]
+
+
+@dataclass
+class InsertStmt:
+    table: str
+    columns: list[str]                     # empty = table order
+    rows: list[list[SQLExpr]]
+
+
+@dataclass
+class DeleteStmt:
+    table: str
+    alias: str
+    where: Optional[SQLExpr] = None

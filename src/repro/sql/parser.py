@@ -1,0 +1,519 @@
+"""SQL/XML parser for the SELECT/VALUES subset the paper exercises.
+
+Covers: select lists with expressions and aliases; FROM with base
+tables and lateral ``XMLTABLE(...)`` references; WHERE with AND/OR/NOT,
+comparisons, IS [NOT] NULL and ``XMLEXISTS``; ``XMLQUERY``/``XMLCAST``
+and the publishing functions ``XMLELEMENT``/``XMLFOREST``/``XMLCONCAT``;
+ORDER BY; VALUES.
+"""
+
+from __future__ import annotations
+
+import re
+from decimal import Decimal
+
+from ..errors import SQLSyntaxError
+from . import ast
+from .values import SQLType
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<qident>"(?:[^"]|"")*")
+  | (?P<number>\d+(?:\.\d*)?(?:[eE][+-]?\d+)?|\.\d+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9$#]*)
+  | (?P<symbol><>|<=|>=|!=|\|\||[(),.*=<>+\-/])
+""", re.VERBOSE)
+
+_TYPE_NAMES = {"INTEGER", "INT", "BIGINT", "DOUBLE", "DECIMAL", "NUMERIC",
+               "VARCHAR", "CHAR", "DATE", "TIMESTAMP", "XML", "BOOLEAN"}
+
+
+class _Token:
+    __slots__ = ("type", "value", "upper")
+
+    def __init__(self, token_type: str, value: str):
+        self.type = token_type
+        self.value = value
+        self.upper = value.upper() if token_type == "name" else value
+
+    def __repr__(self) -> str:
+        return f"{self.type}:{self.value}"
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if not match:
+            raise SQLSyntaxError(
+                f"unexpected character {text[position]!r} at {position}")
+        position = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        value = match.group()
+        if kind == "string":
+            value = value[1:-1].replace("''", "'")
+        elif kind == "qident":
+            value = value[1:-1].replace('""', '"')
+        tokens.append(_Token(kind, value))
+    tokens.append(_Token("eof", ""))
+    return tokens
+
+
+def parse_statement(text: str) -> ast.SelectStmt | ast.ValuesStmt:
+    parser = _SQLParser(_tokenize(text))
+    statement = parser.parse_statement()
+    parser.expect_eof()
+    return statement
+
+
+class _SQLParser:
+    def __init__(self, tokens: list[_Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- plumbing -------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> _Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> _Token:
+        token = self.peek()
+        if token.type != "eof":
+            self.position += 1
+        return token
+
+    def accept_keyword(self, *keywords: str) -> bool:
+        token = self.peek()
+        if token.type == "name" and token.upper in keywords:
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, keyword: str) -> None:
+        if not self.accept_keyword(keyword):
+            raise SQLSyntaxError(
+                f"expected {keyword}, got {self.peek().value!r}")
+
+    def accept_symbol(self, symbol: str) -> bool:
+        token = self.peek()
+        if token.type == "symbol" and token.value == symbol:
+            self.advance()
+            return True
+        return False
+
+    def expect_symbol(self, symbol: str) -> None:
+        if not self.accept_symbol(symbol):
+            raise SQLSyntaxError(
+                f"expected {symbol!r}, got {self.peek().value!r}")
+
+    def expect_eof(self) -> None:
+        token = self.peek()
+        if token.type == "symbol" and token.value == ";":
+            self.advance()
+            token = self.peek()
+        if token.type != "eof":
+            raise SQLSyntaxError(f"trailing input {token.value!r}")
+
+    def identifier(self) -> str:
+        token = self.advance()
+        if token.type == "name":
+            return token.value.lower()
+        if token.type == "qident":
+            return token.value
+        raise SQLSyntaxError(f"expected an identifier, got {token.value!r}")
+
+    def string_literal(self) -> str:
+        token = self.advance()
+        if token.type != "string":
+            raise SQLSyntaxError(
+                f"expected a string literal, got {token.value!r}")
+        return token.value
+
+    # -- statements ------------------------------------------------------
+
+    def parse_statement(self):
+        if self.peek().upper == "SELECT":
+            return self.parse_select()
+        if self.peek().upper == "VALUES":
+            return self.parse_values()
+        if self.peek().upper == "INSERT":
+            return self.parse_insert()
+        if self.peek().upper == "DELETE":
+            return self.parse_delete()
+        raise SQLSyntaxError(
+            f"expected SELECT, VALUES, INSERT or DELETE, got "
+            f"{self.peek().value!r}")
+
+    def parse_insert(self) -> ast.InsertStmt:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.identifier()
+        columns: list[str] = []
+        if self.accept_symbol("("):
+            columns.append(self.identifier())
+            while self.accept_symbol(","):
+                columns.append(self.identifier())
+            self.expect_symbol(")")
+        self.expect_keyword("VALUES")
+        rows: list[list[ast.SQLExpr]] = []
+        while True:
+            self.expect_symbol("(")
+            row = [self.parse_expr()]
+            while self.accept_symbol(","):
+                row.append(self.parse_expr())
+            self.expect_symbol(")")
+            rows.append(row)
+            if not self.accept_symbol(","):
+                break
+        return ast.InsertStmt(table, columns, rows)
+
+    def parse_delete(self) -> ast.DeleteStmt:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.identifier()
+        alias = table
+        if self.accept_keyword("AS"):
+            alias = self.identifier()
+        elif self.peek().type in ("name", "qident") and \
+                self.peek().upper != "WHERE":
+            alias = self.identifier()
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_condition()
+        return ast.DeleteStmt(table, alias, where)
+
+    def parse_values(self) -> ast.ValuesStmt:
+        self.expect_keyword("VALUES")
+        self.expect_symbol("(")
+        exprs = [self.parse_expr()]
+        while self.accept_symbol(","):
+            exprs.append(self.parse_expr())
+        self.expect_symbol(")")
+        return ast.ValuesStmt(exprs)
+
+    def parse_select(self) -> ast.SelectStmt:
+        self.expect_keyword("SELECT")
+        items = [self.parse_select_item()]
+        while self.accept_symbol(","):
+            items.append(self.parse_select_item())
+        self.expect_keyword("FROM")
+        from_refs = [self.parse_table_ref()]
+        while self.accept_symbol(","):
+            # Tolerate the paper's trailing comma (Queries 15, 16).
+            if self.peek().upper in ("WHERE", "") or self.peek().type == "eof":
+                break
+            from_refs.append(self.parse_table_ref())
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_condition()
+        group_by: list[ast.SQLExpr] = []
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.parse_expr())
+            while self.accept_symbol(","):
+                group_by.append(self.parse_expr())
+        having = None
+        if self.accept_keyword("HAVING"):
+            having = self.parse_condition()
+        order_by: list[tuple[ast.SQLExpr, bool]] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            while True:
+                expr = self.parse_expr()
+                descending = False
+                if self.accept_keyword("DESC"):
+                    descending = True
+                elif self.accept_keyword("ASC"):
+                    pass
+                order_by.append((expr, descending))
+                if not self.accept_symbol(","):
+                    break
+        return ast.SelectStmt(items, from_refs, where, group_by, having,
+                              order_by)
+
+    def parse_select_item(self) -> ast.SelectItem:
+        expr = self.parse_expr()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.identifier()
+        elif self.peek().type in ("name", "qident") and \
+                self.peek().upper not in ("FROM",):
+            alias = self.identifier()
+        return ast.SelectItem(expr, alias)
+
+    # -- FROM ------------------------------------------------------------
+
+    def parse_table_ref(self) -> ast.FromRef:
+        if self.peek().upper == "XMLTABLE":
+            return self.parse_xmltable()
+        name = self.identifier()
+        alias = name
+        if self.accept_keyword("AS"):
+            alias = self.identifier()
+        elif self.peek().type in ("name", "qident") and \
+                self.peek().upper not in ("WHERE", "ORDER", "GROUP",
+                                          "HAVING", "XMLTABLE"):
+            alias = self.identifier()
+        return ast.TableRef(name, alias)
+
+    def parse_xmltable(self) -> ast.XMLTableRef:
+        self.expect_keyword("XMLTABLE")
+        self.expect_symbol("(")
+        row_xquery = self.string_literal()
+        passing = self.parse_passing()
+        columns: list[ast.XMLTableColumn] = []
+        if self.accept_keyword("COLUMNS"):
+            columns.append(self.parse_xmltable_column())
+            while self.accept_symbol(","):
+                columns.append(self.parse_xmltable_column())
+        self.expect_symbol(")")
+        alias = "xmltable"
+        column_aliases: list[str] = []
+        if self.accept_keyword("AS"):
+            alias = self.identifier()
+        elif self.peek().type in ("name", "qident") and \
+                self.peek().upper not in ("WHERE", "ORDER", "GROUP",
+                                          "HAVING"):
+            alias = self.identifier()
+        if self.accept_symbol("("):
+            column_aliases.append(self.identifier())
+            while self.accept_symbol(","):
+                column_aliases.append(self.identifier())
+            self.expect_symbol(")")
+        return ast.XMLTableRef(row_xquery, passing, columns, alias,
+                               column_aliases)
+
+    def parse_xmltable_column(self) -> ast.XMLTableColumn:
+        name = self.identifier().lower()
+        if self.accept_keyword("FOR"):
+            self.expect_keyword("ORDINALITY")
+            return ast.XMLTableColumn(name, None, None,
+                                      for_ordinality=True)
+        sql_type = self.parse_sql_type()
+        by_ref = False
+        if self.accept_keyword("BY"):
+            if self.accept_keyword("REF"):
+                by_ref = True
+            else:
+                self.expect_keyword("VALUE")
+        path = None
+        if self.accept_keyword("PATH"):
+            path = self.string_literal()
+        return ast.XMLTableColumn(name, sql_type, path, by_ref)
+
+    def parse_sql_type(self) -> SQLType:
+        token = self.advance()
+        if token.type != "name" or token.upper not in _TYPE_NAMES:
+            raise SQLSyntaxError(f"expected an SQL type, got "
+                                 f"{token.value!r}")
+        text = token.upper
+        if self.accept_symbol("("):
+            length = self.advance().value
+            text += f"({length}"
+            if self.accept_symbol(","):
+                text += f",{self.advance().value}"
+            self.expect_symbol(")")
+            text += ")"
+        return SQLType.parse(text)
+
+    def parse_passing(self) -> list[ast.PassingArg]:
+        passing: list[ast.PassingArg] = []
+        if self.accept_keyword("PASSING"):
+            while True:
+                expr = self.parse_expr()
+                self.expect_keyword("AS")
+                token = self.advance()
+                if token.type not in ("qident", "name"):
+                    raise SQLSyntaxError(
+                        f"expected a variable name, got {token.value!r}")
+                passing.append(ast.PassingArg(expr, token.value))
+                if not self.accept_symbol(","):
+                    break
+        return passing
+
+    # -- conditions --------------------------------------------------------
+
+    def parse_condition(self) -> ast.SQLExpr:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.SQLExpr:
+        left = self.parse_and()
+        while self.accept_keyword("OR"):
+            left = ast.OrCond(left, self.parse_and())
+        return left
+
+    def parse_and(self) -> ast.SQLExpr:
+        left = self.parse_not()
+        while self.accept_keyword("AND"):
+            left = ast.AndCond(left, self.parse_not())
+        return left
+
+    def parse_not(self) -> ast.SQLExpr:
+        if self.accept_keyword("NOT"):
+            return ast.NotCond(self.parse_not())
+        if self.peek().type == "symbol" and self.peek().value == "(":
+            self.advance()
+            inner = self.parse_condition()
+            self.expect_symbol(")")
+            return inner
+        return self.parse_predicate()
+
+    def parse_predicate(self) -> ast.SQLExpr:
+        left = self.parse_expr()
+        token = self.peek()
+        if token.type == "symbol" and token.value in ("=", "<>", "!=", "<",
+                                                      "<=", ">", ">="):
+            op = self.advance().value
+            if op == "!=":
+                op = "<>"
+            right = self.parse_expr()
+            return ast.Comparison(op, left, right)
+        if self.accept_keyword("IS"):
+            negated = self.accept_keyword("NOT")
+            self.expect_keyword("NULL")
+            return ast.IsNullCond(left, negated)
+        return left
+
+    # -- expressions ---------------------------------------------------------
+
+    def parse_expr(self) -> ast.SQLExpr:
+        token = self.peek()
+        if token.type == "string":
+            self.advance()
+            return ast.SQLLiteral(token.value)
+        if token.type == "number":
+            self.advance()
+            if "." in token.value or "e" in token.value.lower():
+                return ast.SQLLiteral(Decimal(token.value))
+            return ast.SQLLiteral(int(token.value))
+        if token.type == "symbol" and token.value == "-":
+            self.advance()
+            inner = self.parse_expr()
+            if isinstance(inner, ast.SQLLiteral) and \
+                    isinstance(inner.value, (int, Decimal)):
+                return ast.SQLLiteral(-inner.value)
+            raise SQLSyntaxError("unary minus only supported on literals")
+        if token.type == "name":
+            upper = token.upper
+            if upper == "NULL":
+                self.advance()
+                return ast.SQLLiteral(None)
+            if upper in ("COUNT", "SUM", "AVG", "MIN", "MAX") and \
+                    self.peek(1).type == "symbol" and \
+                    self.peek(1).value == "(":
+                return self.parse_aggregate(upper)
+            if upper in ("XMLQUERY", "XMLEXISTS"):
+                return self.parse_xmlquery_like(upper)
+            if upper == "XMLCAST":
+                return self.parse_xmlcast()
+            if upper == "XMLELEMENT":
+                return self.parse_xmlelement()
+            if upper == "XMLFOREST":
+                return self.parse_xmlforest()
+            if upper == "XMLCONCAT":
+                return self.parse_xmlconcat()
+        return self.parse_column_ref()
+
+    def parse_column_ref(self) -> ast.ColumnRef:
+        first = self.identifier()
+        if self.accept_symbol("."):
+            return ast.ColumnRef(first, self.identifier())
+        return ast.ColumnRef(None, first)
+
+    def parse_aggregate(self, function: str) -> ast.AggregateExpr:
+        self.advance()           # function name
+        self.expect_symbol("(")
+        if function == "COUNT" and self.accept_symbol("*"):
+            self.expect_symbol(")")
+            return ast.AggregateExpr("COUNT", None)
+        distinct = self.accept_keyword("DISTINCT")
+        argument = self.parse_expr()
+        self.expect_symbol(")")
+        return ast.AggregateExpr(function, argument, distinct)
+
+    def parse_xmlquery_like(self, keyword: str) -> ast.SQLExpr:
+        self.expect_keyword(keyword)
+        self.expect_symbol("(")
+        xquery = self.string_literal()
+        passing = self.parse_passing()
+        # Tolerate RETURNING SEQUENCE [BY REF] on XMLQUERY.
+        if self.accept_keyword("RETURNING"):
+            self.expect_keyword("SEQUENCE")
+            if self.accept_keyword("BY"):
+                self.expect_keyword("REF")
+        self.expect_symbol(")")
+        if keyword == "XMLQUERY":
+            return ast.XMLQueryExpr(xquery, passing)
+        return ast.XMLExistsExpr(xquery, passing)
+
+    def parse_xmlcast(self) -> ast.XMLCastExpr:
+        self.expect_keyword("XMLCAST")
+        self.expect_symbol("(")
+        operand = self.parse_expr()
+        self.expect_keyword("AS")
+        target = self.parse_sql_type()
+        self.expect_symbol(")")
+        return ast.XMLCastExpr(operand, target)
+
+    def parse_xmlelement(self) -> ast.XMLElementExpr:
+        self.expect_keyword("XMLELEMENT")
+        self.expect_symbol("(")
+        self.expect_keyword("NAME")
+        name = self.identifier()
+        attributes: list[tuple[str, ast.SQLExpr]] = []
+        content: list[ast.SQLExpr] = []
+        while self.accept_symbol(","):
+            if self.peek().upper == "XMLATTRIBUTES":
+                self.advance()
+                self.expect_symbol("(")
+                while True:
+                    expr = self.parse_expr()
+                    attribute_name = None
+                    if self.accept_keyword("AS"):
+                        attribute_name = self.identifier()
+                    elif isinstance(expr, ast.ColumnRef):
+                        attribute_name = expr.name
+                    if attribute_name is None:
+                        raise SQLSyntaxError(
+                            "XMLATTRIBUTES argument needs AS name")
+                    attributes.append((attribute_name, expr))
+                    if not self.accept_symbol(","):
+                        break
+                self.expect_symbol(")")
+            else:
+                content.append(self.parse_expr())
+        self.expect_symbol(")")
+        return ast.XMLElementExpr(name, attributes, content)
+
+    def parse_xmlforest(self) -> ast.XMLForestExpr:
+        self.expect_keyword("XMLFOREST")
+        self.expect_symbol("(")
+        items: list[tuple[str, ast.SQLExpr]] = []
+        while True:
+            expr = self.parse_expr()
+            name = None
+            if self.accept_keyword("AS"):
+                name = self.identifier()
+            elif isinstance(expr, ast.ColumnRef):
+                name = expr.name
+            if name is None:
+                raise SQLSyntaxError("XMLFOREST argument needs AS name")
+            items.append((name, expr))
+            if not self.accept_symbol(","):
+                break
+        self.expect_symbol(")")
+        return ast.XMLForestExpr(items)
+
+    def parse_xmlconcat(self) -> ast.XMLConcatExpr:
+        self.expect_keyword("XMLCONCAT")
+        self.expect_symbol("(")
+        items = [self.parse_expr()]
+        while self.accept_symbol(","):
+            items.append(self.parse_expr())
+        self.expect_symbol(")")
+        return ast.XMLConcatExpr(items)

@@ -1,0 +1,10 @@
+"""Storage: B+Trees, tables, XML value indexes, relational indexes."""
+
+from .btree import BPlusTree
+from .catalog import Database
+from .relindex import RelationalIndex
+from .table import Row, StoredDocument, Table
+from .xmlindex import IndexEntry, XmlIndex
+
+__all__ = ["BPlusTree", "Database", "IndexEntry", "RelationalIndex",
+           "Row", "StoredDocument", "Table", "XmlIndex"]

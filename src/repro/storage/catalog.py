@@ -1,0 +1,376 @@
+"""The Database facade: catalog, DML, and query entry points.
+
+This is the component a user of the library touches: create tables
+with XML columns, insert documents (optionally validated against a
+per-document schema), create XML value indexes with the paper's
+``CREATE INDEX … USING XMLPATTERN`` DDL, and run XQuery or SQL/XML.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import CatalogError, SQLError
+from ..schema.schema import Schema
+from ..schema.validator import validate
+from ..xdm.nodes import DocumentNode
+from ..xdm.sequence import Item
+from ..xmlio.parser import parse_document
+from .relindex import RelationalIndex
+from .table import Row, StoredDocument, Table, next_doc_id
+from .xmlindex import XmlIndex
+
+_CREATE_XML_INDEX_RE = re.compile(
+    r"^\s*CREATE\s+INDEX\s+(?P<name>\w+)\s+ON\s+(?P<table>\w+)\s*"
+    r"\(\s*(?P<column>\w+)\s*\)\s*USING\s+XMLPATTERN\s+"
+    r"'(?P<pattern>(?:[^']|'')*)'\s+AS\s+"
+    r"(?:SQL\s+)?(?P<type>VARCHAR(?:\s*\(\s*\d+\s*\))?|DOUBLE|DATE"
+    r"|TIMESTAMP)\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL)
+
+_CREATE_REL_INDEX_RE = re.compile(
+    r"^\s*CREATE\s+INDEX\s+(?P<name>\w+)\s+ON\s+(?P<table>\w+)\s*"
+    r"\(\s*(?P<column>\w+)\s*\)\s*;?\s*$",
+    re.IGNORECASE)
+
+_CREATE_TABLE_RE = re.compile(
+    r"^\s*CREATE\s+TABLE\s+(?P<name>\w+)\s*\((?P<columns>.*)\)\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL)
+
+
+class Database:
+    """An in-memory XML database in the mould of DB2 Viper."""
+
+    def __init__(self, index_order: int = 64):
+        self.index_order = index_order
+        self.tables: dict[str, Table] = {}
+        self.xml_indexes: dict[str, XmlIndex] = {}
+        self.rel_indexes: dict[str, RelationalIndex] = {}
+        self.schemas: dict[str, Schema] = {}
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+
+    def create_table(self, name: str,
+                     columns: list[tuple[str, str]]) -> Table:
+        key = name.lower()
+        if key in self.tables:
+            raise CatalogError(f"table {name!r} already exists")
+        table = Table(name, columns)
+        self.tables[key] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        table = self.table(name)
+        for index in list(self.xml_indexes.values()):
+            if index.table == table.name:
+                del self.xml_indexes[index.name]
+        for index in list(self.rel_indexes.values()):
+            if index.table == table.name:
+                del self.rel_indexes[index.name]
+        del self.tables[table.name]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def register_schema(self, schema: Schema) -> None:
+        self.schemas[schema.name] = schema
+
+    def create_xml_index(self, name: str, table: str, column: str,
+                         pattern: str, index_type: str) -> XmlIndex:
+        key = name.lower()
+        if key in self.xml_indexes or key in self.rel_indexes:
+            raise CatalogError(f"index {name!r} already exists")
+        table_obj = self.table(table)
+        if not table_obj.column_type(column).is_xml:
+            raise CatalogError(
+                f"{table}.{column} is not an XML column")
+        index = XmlIndex(key, table_obj.name, column.lower(), pattern,
+                         index_type, order=self.index_order)
+        # Build: index existing documents.
+        for stored in self.documents(table, column):
+            index.index_document(stored.doc_id, stored.document)
+        self.xml_indexes[key] = index
+        return index
+
+    def create_relational_index(self, name: str, table: str,
+                                column: str) -> RelationalIndex:
+        key = name.lower()
+        if key in self.xml_indexes or key in self.rel_indexes:
+            raise CatalogError(f"index {name!r} already exists")
+        table_obj = self.table(table)
+        if table_obj.column_type(column).is_xml:
+            raise CatalogError(
+                f"{table}.{column} is an XML column; use XMLPATTERN DDL")
+        index = RelationalIndex(key, table_obj.name, column.lower(),
+                                order=self.index_order)
+        for row in table_obj.rows:
+            index.insert_row(row.row_id, row.values[column.lower()])
+        self.rel_indexes[key] = index
+        return index
+
+    def drop_index(self, name: str) -> None:
+        key = name.lower()
+        if key in self.xml_indexes:
+            del self.xml_indexes[key]
+        elif key in self.rel_indexes:
+            del self.rel_indexes[key]
+        else:
+            raise CatalogError(f"unknown index {name!r}")
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+
+    def insert(self, table: str, values: dict[str, object],
+               schema: str | Schema | dict[str, str | Schema] | None = None
+               ) -> Row:
+        """Insert a row.  XML column values may be XML text or a
+        DocumentNode; ``schema`` optionally names a registered schema
+        (or maps column name -> schema) for per-document validation."""
+        table_obj = self.table(table)
+        prepared: dict[str, object] = {}
+        stored_docs: list[StoredDocument] = []
+        for column_name, value in values.items():
+            key = column_name.lower()
+            sql_type = table_obj.column_type(key)
+            if sql_type.is_xml and value is not None:
+                document = (value if isinstance(value, DocumentNode)
+                            else parse_document(str(value)))
+                doc_schema = self._schema_for(schema, key)
+                if doc_schema is not None:
+                    validate(document, doc_schema)
+                stored = StoredDocument(
+                    next_doc_id(), document,
+                    doc_schema.name if doc_schema else None)
+                stored_docs.append(stored)
+                prepared[key] = stored
+            else:
+                prepared[key] = value
+        row = table_obj.new_row(prepared)
+        try:
+            self._index_row(table_obj, row)
+        except Exception:
+            table_obj.remove_row(row)
+            raise
+        return row
+
+    def _schema_for(self, schema, column: str) -> Schema | None:
+        if schema is None:
+            return None
+        if isinstance(schema, dict):
+            schema = schema.get(column)
+            if schema is None:
+                return None
+        if isinstance(schema, Schema):
+            return schema
+        try:
+            return self.schemas[schema]
+        except KeyError:
+            raise CatalogError(f"unknown schema {schema!r}") from None
+
+    def _index_row(self, table: Table, row: Row) -> None:
+        indexed: list[tuple[XmlIndex, StoredDocument]] = []
+        try:
+            for index in self.xml_indexes.values():
+                if index.table != table.name:
+                    continue
+                stored = row.values.get(index.column)
+                if isinstance(stored, StoredDocument):
+                    index.index_document(stored.doc_id, stored.document)
+                    indexed.append((index, stored))
+        except Exception:
+            for index, stored in indexed:
+                index.remove_document(stored.doc_id, stored.document)
+            raise
+        for index in self.rel_indexes.values():
+            if index.table == table.name:
+                index.insert_row(row.row_id, row.values[index.column])
+
+    def delete_rows(self, table: str, predicate=None) -> int:
+        """Delete rows matching ``predicate(row_values_dict)`` (all rows
+        if None); maintains every index.  Returns the count removed."""
+        table_obj = self.table(table)
+        victims = [row for row in table_obj.rows
+                   if predicate is None or predicate(row.values)]
+        for row in victims:
+            for index in self.xml_indexes.values():
+                if index.table != table_obj.name:
+                    continue
+                stored = row.values.get(index.column)
+                if isinstance(stored, StoredDocument):
+                    index.remove_document(stored.doc_id, stored.document)
+            for index in self.rel_indexes.values():
+                if index.table == table_obj.name:
+                    index.remove_row(row.row_id,
+                                     row.values[index.column])
+            table_obj.remove_row(row)
+        return len(victims)
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+
+    def documents(self, table: str, column: str) -> list[StoredDocument]:
+        table_obj = self.table(table)
+        key = column.lower()
+        if not table_obj.column_type(key).is_xml:
+            raise CatalogError(f"{table}.{column} is not an XML column")
+        return [row.values[key] for row in table_obj.rows
+                if isinstance(row.values.get(key), StoredDocument)]
+
+    def xmlcolumn(self, reference: str, stats=None) -> list[Item]:
+        """db2-fn:xmlcolumn: the column's documents as a sequence."""
+        table, column = self._split_reference(reference)
+        stored_docs = self.documents(table, column)
+        if stats is not None:
+            stats.docs_scanned += len(stored_docs)
+        return [stored.document for stored in stored_docs]
+
+    def _split_reference(self, reference: str) -> tuple[str, str]:
+        parts = reference.split(".")
+        if len(parts) != 2:
+            raise CatalogError(
+                f"xmlcolumn reference must be 'TABLE.COLUMN', got "
+                f"{reference!r}")
+        return parts[0], parts[1]
+
+    def xml_indexes_on(self, table: str, column: str) -> list[XmlIndex]:
+        return [index for index in self.xml_indexes.values()
+                if index.table == table.lower()
+                and index.column == column.lower()]
+
+    def rel_indexes_on(self, table: str, column: str
+                       ) -> list[RelationalIndex]:
+        return [index for index in self.rel_indexes.values()
+                if index.table == table.lower()
+                and index.column == column.lower()]
+
+    # ------------------------------------------------------------------
+    # Query entry points
+    # ------------------------------------------------------------------
+
+    def xquery(self, query: str, use_indexes: bool = True,
+               cost_based: bool = False,
+               prefilter_threshold: float = 0.9,
+               rewrite_views: bool = False):
+        """Run a standalone XQuery; returns a planner QueryResult.
+
+        ``cost_based=True`` turns on selectivity-based probe pruning
+        (DB2-style cost-based optimization); the default rule-based
+        mode uses every eligible index.  ``rewrite_views=True`` enables
+        the §3.6 view-flattening rewrite.
+        """
+        from ..planner.plan import execute_xquery
+        return execute_xquery(self, query, use_indexes=use_indexes,
+                              cost_based=cost_based,
+                              prefilter_threshold=prefilter_threshold,
+                              rewrite_views=rewrite_views)
+
+    def sql(self, statement: str, use_indexes: bool = True):
+        """Run an SQL/XML SELECT or VALUES statement."""
+        from ..sql.executor import execute_sql
+        return execute_sql(self, statement, use_indexes=use_indexes)
+
+    def describe(self) -> str:
+        """A human-readable catalog summary: tables, columns, indexes."""
+        lines = ["catalog:"]
+        for table in self.tables.values():
+            columns = ", ".join(f"{name} {sql_type}"
+                                for name, sql_type in
+                                table.columns.items())
+            lines.append(f"  table {table.name} ({columns}) "
+                         f"[{len(table.rows)} rows]")
+            for index in self.xml_indexes.values():
+                if index.table == table.name:
+                    lines.append(
+                        f"    xml index {index.name} ON "
+                        f"{index.column} USING XMLPATTERN "
+                        f"'{index.pattern}' AS {index.index_type} "
+                        f"[{len(index)} entries, "
+                        f"{index.skipped_nodes} skipped]")
+            for index in self.rel_indexes.values():
+                if index.table == table.name:
+                    lines.append(f"    rel index {index.name} ON "
+                                 f"{index.column} [{len(index)} entries]")
+        for schema in self.schemas.values():
+            lines.append(f"  schema {schema.name} "
+                         f"[{len(schema.declarations)} declarations]")
+        return "\n".join(lines)
+
+    def explain(self, query: str) -> str:
+        """Eligibility report + access plan for an SQL or XQuery text."""
+        head = query.lstrip().upper()
+        if head.startswith(("SELECT", "VALUES")):
+            from ..sql.executor import explain_sql
+            return explain_sql(self, query)
+        from ..planner.plan import explain_xquery
+        return explain_xquery(self, query)
+
+    def sqlquery_items(self, statement: str) -> list[Item]:
+        """db2-fn:sqlquery: run SQL, concatenate its XML column values."""
+        result = self.sql(statement)
+        from ..sql.values import XMLValue
+        items: list[Item] = []
+        for row in result.rows:
+            for value in row:
+                if isinstance(value, XMLValue):
+                    items.extend(value.items)
+        return items
+
+    def execute(self, statement: str):
+        """Dispatch a DDL or query statement given as text."""
+        match = _CREATE_XML_INDEX_RE.match(statement)
+        if match:
+            return self.create_xml_index(
+                match.group("name"), match.group("table"),
+                match.group("column"),
+                match.group("pattern").replace("''", "'"),
+                re.sub(r"\s*\(.*\)", "", match.group("type")).upper())
+        match = _CREATE_REL_INDEX_RE.match(statement)
+        if match:
+            return self.create_relational_index(
+                match.group("name"), match.group("table"),
+                match.group("column"))
+        match = _CREATE_TABLE_RE.match(statement)
+        if match:
+            columns = _parse_column_list(match.group("columns"))
+            return self.create_table(match.group("name"), columns)
+        stripped = statement.lstrip().upper()
+        if stripped.startswith(("SELECT", "VALUES", "INSERT", "DELETE")):
+            return self.sql(statement)
+        raise SQLError(f"cannot execute statement: {statement[:60]!r}",
+                       "42601")
+
+
+def _parse_column_list(text: str) -> list[tuple[str, str]]:
+    columns: list[tuple[str, str]] = []
+    depth = 0
+    current: list[str] = []
+    pieces: list[str] = []
+    for char in text:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            pieces.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        pieces.append("".join(current))
+    for piece in pieces:
+        piece = piece.strip()
+        if not piece:
+            continue
+        name, _sep, type_text = piece.partition(" ")
+        if not type_text:
+            raise SQLError(f"malformed column definition {piece!r}",
+                           "42601")
+        columns.append((name, type_text.strip()))
+    return columns

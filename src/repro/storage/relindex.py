@@ -1,0 +1,61 @@
+"""Relational (non-XML) column indexes.
+
+These exist so that Section 3.3's comparison holds in this engine too:
+a join expressed with SQL comparisons can use a relational index on the
+relational column (Query 14), while a join expressed in XQuery can only
+use XML indexes (Query 13).  Keys follow SQL comparison semantics —
+trailing blanks stripped.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..sql.values import normalize_key
+from .btree import BPlusTree
+
+
+class RelationalIndex:
+    """B+Tree index on one relational column; entries are row ids."""
+
+    def __init__(self, name: str, table: str, column: str, order: int = 64):
+        self.name = name
+        self.table = table
+        self.column = column
+        self.tree = BPlusTree(order=order)
+
+    def __repr__(self) -> str:
+        return f"<RelationalIndex {self.name} ON {self.table}({self.column})>"
+
+    def insert_row(self, row_id: int, value) -> None:
+        if value is None:
+            return  # NULLs are not indexed
+        self.tree.insert(normalize_key(value), row_id)
+
+    def remove_row(self, row_id: int, value) -> None:
+        if value is None:
+            return
+        self.tree.delete(normalize_key(value), row_id)
+
+    def lookup(self, value, stats=None) -> list[int]:
+        rows = self.tree.get(normalize_key(value))
+        if stats is not None:
+            stats.index_entries_scanned += len(rows)
+            stats.record_index_use(self.name)
+        return rows
+
+    def range(self, low=None, high=None, low_inclusive: bool = True,
+              high_inclusive: bool = True, stats=None) -> Iterator[int]:
+        count = 0
+        for _key, row_id in self.tree.scan(
+                normalize_key(low) if low is not None else None,
+                normalize_key(high) if high is not None else None,
+                low_inclusive, high_inclusive):
+            count += 1
+            yield row_id
+        if stats is not None:
+            stats.index_entries_scanned += count
+            stats.record_index_use(self.name)
+
+    def __len__(self) -> int:
+        return len(self.tree)

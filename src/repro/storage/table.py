@@ -1,0 +1,88 @@
+"""Relational tables with native XML-typed columns."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..errors import CatalogError, SQLError
+from ..sql.values import SQLType, coerce_to_type
+from ..xdm.nodes import DocumentNode
+
+_DOC_IDS = itertools.count(1)
+_ROW_IDS = itertools.count(1)
+
+
+@dataclass
+class StoredDocument:
+    """An XML document stored in an XML column.
+
+    ``doc_id`` is the unit of index postings and of Definition 1's
+    pre-filtering: probing an index yields a set of doc_ids.
+    """
+
+    doc_id: int
+    document: DocumentNode
+    schema_name: str | None = None
+
+
+@dataclass
+class Row:
+    row_id: int
+    values: dict[str, object] = field(default_factory=dict)
+
+
+class Table:
+    """A heap table: ordered rows, typed columns, XML columns allowed."""
+
+    def __init__(self, name: str, columns: list[tuple[str, str]]):
+        if not columns:
+            raise CatalogError(f"table {name!r} needs at least one column")
+        self.name = name.lower()
+        self.columns: dict[str, SQLType] = {}
+        for column_name, type_text in columns:
+            key = column_name.lower()
+            if key in self.columns:
+                raise CatalogError(
+                    f"duplicate column {column_name!r} in {name!r}")
+            self.columns[key] = SQLType.parse(type_text)
+        self.rows: list[Row] = []
+
+    def column_type(self, column: str) -> SQLType:
+        try:
+            return self.columns[column.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"no column {column!r} in table {self.name!r}") from None
+
+    def xml_columns(self) -> list[str]:
+        return [name for name, sql_type in self.columns.items()
+                if sql_type.is_xml]
+
+    def new_row(self, values: dict[str, object]) -> Row:
+        row = Row(next(_ROW_IDS))
+        for column_name, value in values.items():
+            key = column_name.lower()
+            sql_type = self.column_type(key)
+            if sql_type.is_xml:
+                if value is not None and \
+                        not isinstance(value, StoredDocument):
+                    raise SQLError(
+                        f"column {key} expects a stored XML document")
+                row.values[key] = value
+            else:
+                row.values[key] = coerce_to_type(value, sql_type)
+        for column_name in self.columns:
+            row.values.setdefault(column_name, None)
+        self.rows.append(row)
+        return row
+
+    def remove_row(self, row: Row) -> None:
+        self.rows.remove(row)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def next_doc_id() -> int:
+    return next(_DOC_IDS)

@@ -1,0 +1,9 @@
+"""Workload generation for experiments and benchmarks."""
+
+from .generator import (OrderProfile, Workload, WorkloadGenerator,
+                        intl_customer_schema, populate_paper_schema,
+                        us_customer_schema)
+
+__all__ = ["OrderProfile", "Workload", "WorkloadGenerator",
+           "intl_customer_schema", "populate_paper_schema",
+           "us_customer_schema"]

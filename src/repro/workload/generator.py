@@ -1,0 +1,243 @@
+"""Deterministic workload generators.
+
+The paper's motivating workloads are "large numbers of small to medium
+sized XML documents" over the customer/orders/products schema its
+examples use, plus schema-flexible data like RSS feeds.  These
+generators produce that data deterministically (seeded), with knobs for
+the properties each pitfall experiment needs:
+
+* price distributions with controllable predicate selectivity,
+* namespace variants (Section 3.7),
+* multi-price lineitems and 250/50-style outliers (Section 3.10),
+* mixed-content prices like ``99.50<currency>USD</currency>``
+  (Section 3.8),
+* U.S. vs Canadian postal codes for schema evolution (Section 2.1),
+* RSS-ish feeds with extension elements in foreign namespaces.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..schema.schema import Schema
+
+ORDER_NS = "http://ournamespaces.com/order"
+CUSTOMER_NS = "http://ournamespaces.com/customer"
+
+
+@dataclass
+class OrderProfile:
+    """Tuning knobs for generated order documents."""
+
+    max_lineitems: int = 4
+    price_low: float = 1.0
+    price_high: float = 200.0
+    #: Fraction of orders whose lineitem price is a non-numeric string.
+    string_price_fraction: float = 0.0
+    #: Fraction of lineitems whose price element has mixed content.
+    mixed_text_fraction: float = 0.0
+    #: Emit prices as child elements instead of attributes.
+    element_prices: bool = False
+    #: Wrap everything in the order namespace.
+    namespace: str | None = None
+    #: Also give each lineitem this many price children (list hazard).
+    prices_per_item: int = 1
+
+
+@dataclass
+class Workload:
+    """A generated workload: documents plus relational side tables."""
+
+    orders: list[str] = field(default_factory=list)
+    customers: list[str] = field(default_factory=list)
+    products: list[tuple[str, str]] = field(default_factory=list)
+
+
+class WorkloadGenerator:
+    """Seeded generator for the paper's 3-table schema."""
+
+    def __init__(self, seed: int = 20060912):
+        self.random = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # Orders
+    # ------------------------------------------------------------------
+
+    def price(self, profile: OrderProfile) -> str:
+        value = self.random.uniform(profile.price_low, profile.price_high)
+        return f"{value:.2f}"
+
+    def order_document(self, order_id: int, customer_id: int,
+                       product_ids: list[str],
+                       profile: OrderProfile | None = None) -> str:
+        profile = profile or OrderProfile()
+        ns = f' xmlns="{profile.namespace}"' if profile.namespace else ""
+        lineitem_count = self.random.randint(1, profile.max_lineitems)
+        items: list[str] = []
+        for _ in range(lineitem_count):
+            product = self.random.choice(product_ids)
+            quantity = self.random.randint(1, 9)
+            prices = [self.price(profile)
+                      for _ in range(profile.prices_per_item)]
+            if self.random.random() < profile.string_price_fraction:
+                prices[0] = f"{prices[0]} USD"
+            if profile.element_prices:
+                rendered = []
+                for price in prices:
+                    if self.random.random() < profile.mixed_text_fraction:
+                        rendered.append(f"<price>{price}"
+                                        f"<currency>USD</currency></price>")
+                    else:
+                        rendered.append(f"<price>{price}</price>")
+                items.append(
+                    f"<lineitem quantity=\"{quantity}\">"
+                    f"{''.join(rendered)}"
+                    f"<product><id>{product}</id></product></lineitem>")
+            else:
+                items.append(
+                    f"<lineitem price=\"{prices[0]}\" "
+                    f"quantity=\"{quantity}\">"
+                    f"<product><id>{product}</id></product></lineitem>")
+        return (f"<order{ns} id=\"{order_id}\">"
+                f"<custid>{customer_id}</custid>"
+                f"<date>2006-0{self.random.randint(1, 9)}-"
+                f"{self.random.randint(10, 28)}</date>"
+                f"{''.join(items)}</order>")
+
+    # ------------------------------------------------------------------
+    # Customers / products
+    # ------------------------------------------------------------------
+
+    def customer_document(self, customer_id: int,
+                          namespace: str | None = None,
+                          canadian: bool = False) -> str:
+        ns = f' xmlns="{namespace}"' if namespace else ""
+        if canadian:
+            postal = (f"{self.random.choice('KLMNP')}"
+                      f"{self.random.randint(0, 9)}"
+                      f"{self.random.choice('ABCEGH')} "
+                      f"{self.random.randint(0, 9)}"
+                      f"{self.random.choice('KLMNP')}"
+                      f"{self.random.randint(0, 9)}")
+        else:
+            postal = f"{self.random.randint(10000, 99999)}"
+        nation = 1 if not canadian else 2
+        return (f"<customer{ns} cid=\"{customer_id}\">"
+                f"<id>{customer_id}</id>"
+                f"<name>Customer {customer_id}</name>"
+                f"<nation>{nation}</nation>"
+                f"<address><city>City {customer_id % 17}</city>"
+                f"<postalcode>{postal}</postalcode></address>"
+                f"</customer>")
+
+    def product_rows(self, count: int) -> list[tuple[str, str]]:
+        adjectives = ["red", "blue", "green", "heavy", "light", "smart"]
+        nouns = ["widget", "gadget", "sprocket", "flange", "gear"]
+        rows = []
+        for index in range(count):
+            name = (f"{self.random.choice(adjectives)} "
+                    f"{self.random.choice(nouns)} {index}")
+            rows.append((f"P{index:05d}", name[:32]))
+        return rows
+
+    # ------------------------------------------------------------------
+    # Whole workloads
+    # ------------------------------------------------------------------
+
+    def workload(self, orders: int = 100, customers: int = 20,
+                 products: int = 10,
+                 profile: OrderProfile | None = None,
+                 canadian_fraction: float = 0.0) -> Workload:
+        result = Workload()
+        result.products = self.product_rows(products)
+        product_ids = [pid for pid, _name in result.products]
+        for customer_id in range(1, customers + 1):
+            canadian = self.random.random() < canadian_fraction
+            result.customers.append(
+                self.customer_document(customer_id, canadian=canadian))
+        for order_id in range(1, orders + 1):
+            customer_id = self.random.randint(1, customers)
+            result.orders.append(self.order_document(
+                order_id, customer_id, product_ids, profile))
+        return result
+
+    # ------------------------------------------------------------------
+    # RSS-ish extensible documents (the §1 "killer app")
+    # ------------------------------------------------------------------
+
+    def rss_feed(self, feed_id: int, item_count: int = 5) -> str:
+        items = []
+        for index in range(item_count):
+            extras = ""
+            if self.random.random() < 0.4:
+                extras += (f'<dc:creator xmlns:dc='
+                           f'"http://purl.org/dc/elements/1.1/">'
+                           f"author{self.random.randint(1, 9)}"
+                           f"</dc:creator>")
+            if self.random.random() < 0.3:
+                extras += (f'<geo:lat xmlns:geo='
+                           f'"http://www.w3.org/2003/01/geo/">'
+                           f"{self.random.uniform(-90, 90):.3f}</geo:lat>")
+            items.append(
+                f"<item><title>Feed {feed_id} item {index}</title>"
+                f"<pubDate>2006-09-{self.random.randint(10, 28)}"
+                f"</pubDate>{extras}</item>")
+        return (f"<rss version=\"2.0\"><channel>"
+                f"<title>Channel {feed_id}</title>"
+                f"{''.join(items)}</channel></rss>")
+
+
+# ---------------------------------------------------------------------------
+# Schemas for the evolution scenario (§2.1 postal codes)
+# ---------------------------------------------------------------------------
+
+def us_customer_schema() -> Schema:
+    """Version 1: numeric postal codes (U.S. ZIP)."""
+    return (Schema("customer-v1")
+            .declare("customer/id", "xs:double")
+            .declare("customer/nation", "xs:double")
+            .declare("address/postalcode", "xs:double"))
+
+
+def intl_customer_schema() -> Schema:
+    """Version 2: string postal codes (Canada and beyond)."""
+    return (Schema("customer-v2")
+            .declare("customer/id", "xs:double")
+            .declare("customer/nation", "xs:double")
+            .declare("address/postalcode", "xs:string"))
+
+
+def populate_paper_schema(database, orders: int = 100,
+                          customers: int = 20, products: int = 10,
+                          profile: OrderProfile | None = None,
+                          seed: int = 20060912,
+                          with_indexes: bool = True) -> Workload:
+    """Create and fill the paper's 3-table schema.
+
+    Returns the generated workload.  With ``with_indexes``, creates the
+    paper's running-example indexes (``li_price``, ``o_custid``,
+    ``c_custid``).
+    """
+    generator = WorkloadGenerator(seed)
+    workload = generator.workload(orders, customers, products, profile)
+    database.create_table("customer", [("cid", "INTEGER"),
+                                       ("cdoc", "XML")])
+    database.create_table("orders", [("ordid", "INTEGER"),
+                                     ("orddoc", "XML")])
+    database.create_table("products", [("id", "VARCHAR(13)"),
+                                       ("name", "VARCHAR(32)")])
+    for index, document in enumerate(workload.customers, start=1):
+        database.insert("customer", {"cid": index, "cdoc": document})
+    for index, document in enumerate(workload.orders, start=1):
+        database.insert("orders", {"ordid": index, "orddoc": document})
+    for product_id, name in workload.products:
+        database.insert("products", {"id": product_id, "name": name})
+    if with_indexes:
+        database.create_xml_index("li_price", "orders", "orddoc",
+                                  "//lineitem/@price", "DOUBLE")
+        database.create_xml_index("o_custid", "orders", "orddoc",
+                                  "//custid", "DOUBLE")
+        database.create_xml_index("c_custid", "customer", "cdoc",
+                                  "/customer/id", "DOUBLE")
+    return workload

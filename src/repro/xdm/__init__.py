@@ -1,0 +1,30 @@
+"""XQuery Data Model (XDM) substrate.
+
+Exports the node classes, atomic values, and comparison semantics that
+the parser, XQuery engine, SQL/XML engine, and indexes all share.
+"""
+
+from .atomic import (AtomicValue, T_BOOLEAN, T_DATE, T_DATETIME, T_DECIMAL,
+                     T_DOUBLE, T_INTEGER, T_LONG, T_STRING, T_UNTYPED,
+                     boolean, cast, castable, date, date_time, decimal,
+                     double, integer, long_integer, string, untyped)
+from .compare import general_compare, node_compare, value_compare
+from .nodes import (AttributeNode, CommentNode, DocumentNode, ElementNode,
+                    Node, ProcessingInstructionNode, TextNode, UNTYPED_ELEMENT,
+                    copy_node)
+from .qname import QName
+from .sequence import (Item, atomize, document_order,
+                       effective_boolean_value, is_node, singleton)
+
+__all__ = [
+    "AtomicValue", "AttributeNode", "CommentNode", "DocumentNode",
+    "ElementNode", "Item", "Node", "ProcessingInstructionNode", "QName",
+    "TextNode", "UNTYPED_ELEMENT",
+    "T_BOOLEAN", "T_DATE", "T_DATETIME", "T_DECIMAL", "T_DOUBLE",
+    "T_INTEGER", "T_LONG", "T_STRING", "T_UNTYPED",
+    "atomize", "boolean", "cast", "castable", "copy_node", "date",
+    "date_time", "decimal", "document_order", "double",
+    "effective_boolean_value", "general_compare", "integer", "is_node",
+    "long_integer", "node_compare", "singleton", "string", "untyped",
+    "value_compare",
+]

@@ -1,0 +1,380 @@
+"""XDM node hierarchy: document, element, attribute, text, comment, PI.
+
+Three properties of nodes drive most of the paper's pitfalls and are
+modelled exactly:
+
+* **Node identity** (Section 3.6): every node carries a unique id
+  assigned at construction; copying a node (as element constructors do)
+  yields fresh identities, so ``$view/@price except .../@price`` keeps
+  all nodes instead of cancelling out.
+* **Document order**: a stable total order, per tree, used for path
+  expression deduplication and the ``<<``/``>>`` comparisons.
+* **Type annotations** (Sections 3.1, 3.6, 3.8): unvalidated elements
+  are ``xdt:untyped`` and attributes ``xdt:untypedAtomic``; validation
+  may attach schema types, including *list* types whose typed value is a
+  sequence of atomics (the §3.10 footnote).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from ..errors import XQueryTypeError
+from .atomic import AtomicValue, T_UNTYPED, cast, untyped
+from .qname import QName
+
+_NODE_IDS = itertools.count(1)
+
+#: Element type annotation meaning "no schema validation applied".
+UNTYPED_ELEMENT = "xdt:untyped"
+
+
+class Node:
+    """Abstract base of all seven XDM node kinds (we omit namespace nodes)."""
+
+    kind = "node"
+
+    __slots__ = ("node_id", "parent", "_order")
+
+    def __init__(self):
+        self.node_id = next(_NODE_IDS)
+        self.parent: Node | None = None
+        self._order: tuple[int, int] | None = None
+
+    # -- identity & order --------------------------------------------
+
+    def is_same_node(self, other: "Node") -> bool:
+        return self.node_id == other.node_id
+
+    @property
+    def root(self) -> "Node":
+        node: Node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def document_order_key(self) -> tuple[int, int]:
+        """(tree id, position) — comparable within and across trees."""
+        if self._order is None:
+            _number_tree(self.root)
+        assert self._order is not None
+        return self._order
+
+    def _invalidate_order(self) -> None:
+        root = self.root
+        for node in _walk_all(root):
+            node._order = None
+
+    # -- values --------------------------------------------------------
+
+    def string_value(self) -> str:
+        raise NotImplementedError
+
+    def typed_value(self) -> list[AtomicValue]:
+        """Atomization result (a list because of list-typed nodes)."""
+        raise NotImplementedError
+
+    @property
+    def name(self) -> QName | None:
+        return None
+
+    # -- structure -------------------------------------------------------
+
+    @property
+    def children(self) -> list["Node"]:
+        return []
+
+    @property
+    def attributes(self) -> list["AttributeNode"]:
+        return []
+
+    def descendants_or_self(self) -> Iterator["Node"]:
+        yield self
+        for child in self.children:
+            yield from child.descendants_or_self()
+
+    def ancestors(self) -> Iterator["Node"]:
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def path_steps(self) -> list[tuple[str, QName | None]]:
+        """(kind, name) pairs from the root down to this node.
+
+        The root document node is omitted; this is the representation the
+        XML indexes store alongside each entry so an index on a broad
+        pattern (e.g. ``//@*``) can still check path restrictions.
+        """
+        steps: list[tuple[str, QName | None]] = []
+        node: Node | None = self
+        while node is not None and node.kind != "document":
+            steps.append((node.kind, node.name))
+            node = node.parent
+        steps.reverse()
+        return steps
+
+    def __repr__(self) -> str:
+        name = self.name
+        label = f" {name}" if name is not None else ""
+        return f"<{self.kind}{label} #{self.node_id}>"
+
+
+def _walk_all(node: Node) -> Iterator[Node]:
+    yield node
+    for attribute in node.attributes:
+        yield attribute
+    for child in node.children:
+        yield from _walk_all(child)
+
+
+def _number_tree(root: Node) -> None:
+    tree_id = root.node_id
+    for position, node in enumerate(_walk_all(root)):
+        node._order = (tree_id, position)
+
+
+class DocumentNode(Node):
+    """A document node; ``db2-fn:xmlcolumn`` returns these (Section 3.5)."""
+
+    kind = "document"
+
+    __slots__ = ("_children", "document_uri")
+
+    def __init__(self, children: list[Node] | None = None,
+                 document_uri: str = ""):
+        super().__init__()
+        self._children: list[Node] = []
+        self.document_uri = document_uri
+        for child in children or []:
+            self.append_child(child)
+
+    @property
+    def children(self) -> list[Node]:
+        return self._children
+
+    def append_child(self, child: Node) -> None:
+        child.parent = self
+        self._children.append(child)
+        self._order = None
+        child._order = None
+
+    def string_value(self) -> str:
+        return "".join(child.string_value() for child in self._children
+                       if child.kind in ("element", "text"))
+
+    def typed_value(self) -> list[AtomicValue]:
+        return [untyped(self.string_value())]
+
+    @property
+    def root_element(self) -> "ElementNode | None":
+        for child in self._children:
+            if child.kind == "element":
+                return child  # type: ignore[return-value]
+        return None
+
+
+class ElementNode(Node):
+    kind = "element"
+
+    __slots__ = ("_name", "_children", "_attributes", "type_annotation",
+                 "_typed_values", "in_scope_namespaces")
+
+    def __init__(self, name: QName,
+                 attributes: list["AttributeNode"] | None = None,
+                 children: list[Node] | None = None,
+                 type_annotation: str = UNTYPED_ELEMENT,
+                 in_scope_namespaces: dict[str, str] | None = None):
+        super().__init__()
+        self._name = name
+        self._attributes: list[AttributeNode] = []
+        self._children: list[Node] = []
+        self.type_annotation = type_annotation
+        #: Set by schema validation for simple-typed elements.
+        self._typed_values: list[AtomicValue] | None = None
+        self.in_scope_namespaces = dict(in_scope_namespaces or {})
+        for attribute in attributes or []:
+            self.add_attribute(attribute)
+        for child in children or []:
+            self.append_child(child)
+
+    @property
+    def name(self) -> QName:
+        return self._name
+
+    @property
+    def children(self) -> list[Node]:
+        return self._children
+
+    @property
+    def attributes(self) -> list["AttributeNode"]:
+        return self._attributes
+
+    def add_attribute(self, attribute: "AttributeNode") -> None:
+        attribute.parent = self
+        self._attributes.append(attribute)
+        self._order = None
+
+    def append_child(self, child: Node) -> None:
+        if child.kind == "attribute":
+            raise XQueryTypeError("attribute node cannot be a child")
+        child.parent = self
+        self._children.append(child)
+        self._order = None
+        child._order = None
+
+    def attribute(self, local: str, uri: str = "") -> "AttributeNode | None":
+        for attribute in self._attributes:
+            if attribute.name.local == local and attribute.name.uri == uri:
+                return attribute
+        return None
+
+    def string_value(self) -> str:
+        return "".join(child.string_value() for child in self._children
+                       if child.kind in ("element", "text"))
+
+    def typed_value(self) -> list[AtomicValue]:
+        if self._typed_values is not None:
+            return list(self._typed_values)
+        if self.type_annotation == UNTYPED_ELEMENT:
+            return [untyped(self.string_value())]
+        # Simple-typed element validated but values not cached: cast now.
+        return [cast(untyped(self.string_value()), self.type_annotation)]
+
+    def set_typed_value(self, type_annotation: str,
+                        values: list[AtomicValue]) -> None:
+        """Attach a schema type annotation and its typed value."""
+        self.type_annotation = type_annotation
+        self._typed_values = list(values)
+
+
+class AttributeNode(Node):
+    kind = "attribute"
+
+    __slots__ = ("_name", "_value", "type_annotation", "_typed_values")
+
+    def __init__(self, name: QName, value: str,
+                 type_annotation: str = T_UNTYPED):
+        super().__init__()
+        self._name = name
+        self._value = value
+        self.type_annotation = type_annotation
+        self._typed_values: list[AtomicValue] | None = None
+
+    @property
+    def name(self) -> QName:
+        return self._name
+
+    def string_value(self) -> str:
+        return self._value
+
+    def typed_value(self) -> list[AtomicValue]:
+        if self._typed_values is not None:
+            return list(self._typed_values)
+        if self.type_annotation == T_UNTYPED:
+            return [untyped(self._value)]
+        return [cast(untyped(self._value), self.type_annotation)]
+
+    def set_typed_value(self, type_annotation: str,
+                        values: list[AtomicValue]) -> None:
+        self.type_annotation = type_annotation
+        self._typed_values = list(values)
+
+
+class TextNode(Node):
+    kind = "text"
+
+    __slots__ = ("content",)
+
+    def __init__(self, content: str):
+        super().__init__()
+        self.content = content
+
+    def string_value(self) -> str:
+        return self.content
+
+    def typed_value(self) -> list[AtomicValue]:
+        return [untyped(self.content)]
+
+
+class CommentNode(Node):
+    kind = "comment"
+
+    __slots__ = ("content",)
+
+    def __init__(self, content: str):
+        super().__init__()
+        self.content = content
+
+    def string_value(self) -> str:
+        return self.content
+
+    def typed_value(self) -> list[AtomicValue]:
+        return [AtomicValue("xs:string", self.content)]
+
+
+class ProcessingInstructionNode(Node):
+    kind = "processing-instruction"
+
+    __slots__ = ("target", "content")
+
+    def __init__(self, target: str, content: str):
+        super().__init__()
+        self.target = target
+        self.content = content
+
+    @property
+    def name(self) -> QName:
+        return QName("", self.target)
+
+    def string_value(self) -> str:
+        return self.content
+
+    def typed_value(self) -> list[AtomicValue]:
+        return [AtomicValue("xs:string", self.content)]
+
+
+# ---------------------------------------------------------------------------
+# Copying (element-constructor semantics, Section 3.6)
+# ---------------------------------------------------------------------------
+
+def copy_node(node: Node, preserve_types: bool = False) -> Node:
+    """Deep-copy ``node`` with fresh node identities.
+
+    With ``preserve_types=False`` (XQuery ``construction strip``, the
+    engine default) copied elements become ``xdt:untyped`` and copied
+    attributes ``xdt:untypedAtomic`` — one of the §3.6 hazards.
+    """
+    if node.kind == "document":
+        return DocumentNode(
+            [copy_node(child, preserve_types) for child in node.children])
+    if node.kind == "element":
+        assert isinstance(node, ElementNode)
+        annotation = node.type_annotation if preserve_types else UNTYPED_ELEMENT
+        copied = ElementNode(
+            node.name,
+            attributes=[copy_node(a, preserve_types)  # type: ignore[misc]
+                        for a in node.attributes],
+            children=[copy_node(child, preserve_types)
+                      for child in node.children],
+            type_annotation=annotation,
+            in_scope_namespaces=node.in_scope_namespaces)
+        if preserve_types and node._typed_values is not None:
+            copied._typed_values = list(node._typed_values)
+        return copied
+    if node.kind == "attribute":
+        assert isinstance(node, AttributeNode)
+        annotation = node.type_annotation if preserve_types else T_UNTYPED
+        copied_attr = AttributeNode(node.name, node.string_value(), annotation)
+        if preserve_types and node._typed_values is not None:
+            copied_attr._typed_values = list(node._typed_values)
+        return copied_attr
+    if node.kind == "text":
+        return TextNode(node.string_value())
+    if node.kind == "comment":
+        return CommentNode(node.string_value())
+    if node.kind == "processing-instruction":
+        assert isinstance(node, ProcessingInstructionNode)
+        return ProcessingInstructionNode(node.target, node.content)
+    raise XQueryTypeError(f"cannot copy node kind {node.kind}")

@@ -1,0 +1,7 @@
+"""XML text I/O: parsing to XDM trees and serialization back to text."""
+
+from .parser import parse_document, parse_fragment
+from .serializer import serialize, serialize_sequence
+
+__all__ = ["parse_document", "parse_fragment", "serialize",
+           "serialize_sequence"]

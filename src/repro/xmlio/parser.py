@@ -1,0 +1,330 @@
+"""A from-scratch, namespace-aware XML parser producing XDM trees.
+
+The parser preserves everything the XQuery data model needs and the
+paper's pitfalls depend on: text nodes distinct from their parent
+elements (Section 3.8's ``99.50USD`` mixed-content example), comments,
+processing instructions, attribute vs element nodes (Section 3.9), and
+per-element in-scope namespace bindings (Section 3.7).
+
+Supported syntax: the XML 1.0 core — prolog, elements, attributes,
+namespace declarations (``xmlns`` / ``xmlns:p``), character data with
+the five predefined entities plus numeric character references, CDATA
+sections, comments, and processing instructions.  DTDs are tolerated
+and skipped.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import XMLParseError
+from ..xdm.nodes import (AttributeNode, CommentNode, DocumentNode,
+                         ElementNode, Node, ProcessingInstructionNode,
+                         TextNode)
+from ..xdm.qname import QName, XML_NS
+
+_NAME_START = re.compile(r"[A-Za-z_:À-￿]")
+_NAME_RE = re.compile(r"[A-Za-z_:][\w.\-:À-￿]*")
+
+_ENTITIES = {"amp": "&", "lt": "<", "gt": ">", "quot": '"', "apos": "'"}
+
+
+class _Cursor:
+    """Character cursor with line/column tracking for error messages."""
+
+    __slots__ = ("text", "pos", "length")
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < self.length else ""
+
+    def startswith(self, token: str) -> bool:
+        return self.text.startswith(token, self.pos)
+
+    def advance(self, count: int = 1) -> None:
+        self.pos += count
+
+    def location(self) -> tuple[int, int]:
+        consumed = self.text[:self.pos]
+        line = consumed.count("\n") + 1
+        column = self.pos - (consumed.rfind("\n") + 1) + 1
+        return line, column
+
+    def error(self, message: str) -> XMLParseError:
+        line, column = self.location()
+        return XMLParseError(message, line, column)
+
+
+def parse_document(text: str, document_uri: str = "") -> DocumentNode:
+    """Parse an XML document string into a :class:`DocumentNode`."""
+    cursor = _Cursor(text)
+    document = DocumentNode(document_uri=document_uri)
+    _skip_prolog(cursor)
+    saw_root = False
+    while cursor.pos < cursor.length:
+        _skip_whitespace(cursor)
+        if cursor.pos >= cursor.length:
+            break
+        if cursor.startswith("<!--"):
+            document.append_child(_parse_comment(cursor))
+        elif cursor.startswith("<?"):
+            document.append_child(_parse_pi(cursor))
+        elif cursor.peek() == "<":
+            if saw_root:
+                raise cursor.error("multiple root elements")
+            namespaces = {"xml": XML_NS}
+            document.append_child(_parse_element(cursor, namespaces))
+            saw_root = True
+        else:
+            raise cursor.error(
+                f"unexpected content outside root element: "
+                f"{cursor.peek()!r}")
+    if not saw_root:
+        raise cursor.error("document has no root element")
+    return document
+
+
+def parse_fragment(text: str) -> list[Node]:
+    """Parse a sequence of elements/text (used by direct constructors)."""
+    wrapped = parse_document(f"<repro-fragment-wrapper>{text}"
+                             f"</repro-fragment-wrapper>")
+    root = wrapped.root_element
+    assert root is not None
+    children = list(root.children)
+    for child in children:
+        child.parent = None
+    return children
+
+
+def _skip_whitespace(cursor: _Cursor) -> None:
+    while cursor.peek() in (" ", "\t", "\r", "\n"):
+        cursor.advance()
+
+
+def _skip_prolog(cursor: _Cursor) -> None:
+    _skip_whitespace(cursor)
+    if cursor.startswith("<?xml"):
+        end = cursor.text.find("?>", cursor.pos)
+        if end < 0:
+            raise cursor.error("unterminated XML declaration")
+        cursor.pos = end + 2
+    _skip_whitespace(cursor)
+    if cursor.startswith("<!DOCTYPE"):
+        depth = 0
+        while cursor.pos < cursor.length:
+            char = cursor.peek()
+            if char == "<":
+                depth += 1
+            elif char == ">":
+                depth -= 1
+                if depth == 0:
+                    cursor.advance()
+                    return
+            cursor.advance()
+        raise cursor.error("unterminated DOCTYPE")
+
+
+def _parse_name(cursor: _Cursor) -> str:
+    match = _NAME_RE.match(cursor.text, cursor.pos)
+    if not match:
+        raise cursor.error(f"expected a name, got {cursor.peek()!r}")
+    cursor.pos = match.end()
+    return match.group()
+
+
+def _resolve_entity(cursor: _Cursor, reference: str) -> str:
+    if reference.startswith("#x") or reference.startswith("#X"):
+        return chr(int(reference[2:], 16))
+    if reference.startswith("#"):
+        return chr(int(reference[1:]))
+    if reference in _ENTITIES:
+        return _ENTITIES[reference]
+    raise cursor.error(f"unknown entity &{reference};")
+
+
+def _parse_reference(cursor: _Cursor) -> str:
+    end = cursor.text.find(";", cursor.pos)
+    if end < 0 or end - cursor.pos > 12:
+        raise cursor.error("malformed entity reference")
+    reference = cursor.text[cursor.pos + 1:end]
+    cursor.pos = end + 1
+    return _resolve_entity(cursor, reference)
+
+
+def _parse_attribute_value(cursor: _Cursor) -> str:
+    quote = cursor.peek()
+    if quote not in ("'", '"'):
+        raise cursor.error("attribute value must be quoted")
+    cursor.advance()
+    parts: list[str] = []
+    while True:
+        char = cursor.peek()
+        if char == "":
+            raise cursor.error("unterminated attribute value")
+        if char == quote:
+            cursor.advance()
+            break
+        if char == "&":
+            parts.append(_parse_reference(cursor))
+        elif char == "<":
+            raise cursor.error("'<' not allowed in attribute value")
+        else:
+            parts.append(char)
+            cursor.advance()
+    return "".join(parts)
+
+
+def _split_qname(cursor: _Cursor, name: str) -> tuple[str, str]:
+    if ":" in name:
+        prefix, local = name.split(":", 1)
+        if not prefix or not local or ":" in local:
+            raise cursor.error(f"malformed QName {name!r}")
+        return prefix, local
+    return "", name
+
+
+def _parse_element(cursor: _Cursor, namespaces: dict[str, str]) -> ElementNode:
+    assert cursor.peek() == "<"
+    cursor.advance()
+    name = _parse_name(cursor)
+
+    raw_attributes: list[tuple[str, str]] = []
+    scope = dict(namespaces)
+    default_ns = scope.get("", "")
+
+    while True:
+        _skip_whitespace(cursor)
+        char = cursor.peek()
+        if char in (">", "/"):
+            break
+        attribute_name = _parse_name(cursor)
+        _skip_whitespace(cursor)
+        if cursor.peek() != "=":
+            raise cursor.error(f"expected '=' after attribute "
+                               f"{attribute_name!r}")
+        cursor.advance()
+        _skip_whitespace(cursor)
+        value = _parse_attribute_value(cursor)
+        if attribute_name == "xmlns":
+            scope[""] = value
+            default_ns = value
+        elif attribute_name.startswith("xmlns:"):
+            scope[attribute_name[6:]] = value
+        else:
+            raw_attributes.append((attribute_name, value))
+
+    prefix, local = _split_qname(cursor, name)
+    if prefix:
+        if prefix not in scope:
+            raise cursor.error(f"undeclared namespace prefix {prefix!r}")
+        element_qname = QName(scope[prefix], local, prefix)
+    else:
+        element_qname = QName(default_ns, local)
+
+    attributes: list[AttributeNode] = []
+    seen_names: set[QName] = set()
+    for attribute_name, value in raw_attributes:
+        attr_prefix, attr_local = _split_qname(cursor, attribute_name)
+        if attr_prefix:
+            if attr_prefix not in scope:
+                raise cursor.error(
+                    f"undeclared namespace prefix {attr_prefix!r}")
+            attr_qname = QName(scope[attr_prefix], attr_local, attr_prefix)
+        else:
+            # Default namespaces never apply to attributes (Section 3.7).
+            attr_qname = QName("", attr_local)
+        if attr_qname in seen_names:
+            raise cursor.error(f"duplicate attribute {attribute_name!r}")
+        seen_names.add(attr_qname)
+        attributes.append(AttributeNode(attr_qname, value))
+
+    element = ElementNode(element_qname, attributes=attributes,
+                          in_scope_namespaces=scope)
+
+    if cursor.peek() == "/":
+        cursor.advance()
+        if cursor.peek() != ">":
+            raise cursor.error("expected '>' after '/'")
+        cursor.advance()
+        return element
+    cursor.advance()  # consume '>'
+
+    _parse_content(cursor, element, scope)
+
+    # Closing tag.
+    closing = _parse_name(cursor)
+    if closing != name:
+        raise cursor.error(
+            f"mismatched closing tag </{closing}> for <{name}>")
+    _skip_whitespace(cursor)
+    if cursor.peek() != ">":
+        raise cursor.error("expected '>' in closing tag")
+    cursor.advance()
+    return element
+
+
+def _parse_content(cursor: _Cursor, element: ElementNode,
+                   namespaces: dict[str, str]) -> None:
+    text_parts: list[str] = []
+
+    def flush_text() -> None:
+        if text_parts:
+            element.append_child(TextNode("".join(text_parts)))
+            text_parts.clear()
+
+    while True:
+        char = cursor.peek()
+        if char == "":
+            raise cursor.error(f"unterminated element <{element.name}>")
+        if char == "<":
+            if cursor.startswith("</"):
+                flush_text()
+                cursor.advance(2)
+                return
+            if cursor.startswith("<!--"):
+                flush_text()
+                element.append_child(_parse_comment(cursor))
+            elif cursor.startswith("<![CDATA["):
+                end = cursor.text.find("]]>", cursor.pos)
+                if end < 0:
+                    raise cursor.error("unterminated CDATA section")
+                text_parts.append(cursor.text[cursor.pos + 9:end])
+                cursor.pos = end + 3
+            elif cursor.startswith("<?"):
+                flush_text()
+                element.append_child(_parse_pi(cursor))
+            else:
+                flush_text()
+                element.append_child(_parse_element(cursor, namespaces))
+        elif char == "&":
+            text_parts.append(_parse_reference(cursor))
+        else:
+            text_parts.append(char)
+            cursor.advance()
+
+
+def _parse_comment(cursor: _Cursor) -> CommentNode:
+    end = cursor.text.find("-->", cursor.pos + 4)
+    if end < 0:
+        raise cursor.error("unterminated comment")
+    content = cursor.text[cursor.pos + 4:end]
+    cursor.pos = end + 3
+    return CommentNode(content)
+
+
+def _parse_pi(cursor: _Cursor) -> ProcessingInstructionNode:
+    cursor.advance(2)
+    target = _parse_name(cursor)
+    if target.lower() == "xml":
+        raise cursor.error("'xml' is a reserved PI target")
+    end = cursor.text.find("?>", cursor.pos)
+    if end < 0:
+        raise cursor.error("unterminated processing instruction")
+    content = cursor.text[cursor.pos:end].lstrip()
+    cursor.pos = end + 2
+    return ProcessingInstructionNode(target, content)

@@ -1,0 +1,139 @@
+"""XDM → XML text serialization.
+
+Serialization is namespace-faithful: an element emits ``xmlns``
+declarations for every binding in its in-scope namespaces that its
+parent did not already declare, so round-tripping a parsed document
+reproduces an equivalent (prefix-preserving) serialization.
+"""
+
+from __future__ import annotations
+
+from ..xdm.atomic import AtomicValue
+from ..xdm.nodes import (AttributeNode, DocumentNode, ElementNode, Node)
+from ..xdm.sequence import Item
+
+
+def _escape_text(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def _escape_attribute(text: str) -> str:
+    return _escape_text(text).replace('"', "&quot;")
+
+
+def serialize(item: Item, indent: bool = False) -> str:
+    """Serialize one item (node or atomic value) to text.
+
+    With ``indent=True``, element-only content is pretty-printed with
+    two-space indentation; mixed content (any text child) is left
+    untouched so whitespace-significant values never change.
+    """
+    if isinstance(item, AtomicValue):
+        return item.string_value()
+    if indent:
+        return _pretty_node(item, inherited={}, depth=0)
+    return _serialize_node(item, inherited={})
+
+
+def _pretty_node(node: Node, inherited: dict[str, str],
+                 depth: int) -> str:
+    pad = "  " * depth
+    if isinstance(node, DocumentNode):
+        return "\n".join(_pretty_node(child, inherited, depth)
+                         for child in node.children)
+    if not isinstance(node, ElementNode):
+        return pad + _serialize_node(node, inherited)
+    has_text = any(child.kind == "text" for child in node.children)
+    if has_text or not node.children:
+        return pad + _serialize_node(node, inherited)
+    flat = _serialize_node(node, dict(inherited))
+    open_tag = flat[:flat.index(">") + 1]
+    lines = [pad + open_tag]
+    scope = dict(inherited)
+    name = node.name
+    if name.prefix:
+        scope[name.prefix] = name.uri
+    else:
+        scope[""] = name.uri
+    for child in node.children:
+        lines.append(_pretty_node(child, scope, depth + 1))
+    lines.append(f"{pad}</{_tag_name(node)}>")
+    return "\n".join(lines)
+
+
+def serialize_sequence(items: list[Item]) -> str:
+    """Serialize a sequence, space-separating adjacent atomic values."""
+    parts: list[str] = []
+    previous_atomic = False
+    for item in items:
+        is_atomic = isinstance(item, AtomicValue)
+        if is_atomic and previous_atomic:
+            parts.append(" ")
+        parts.append(serialize(item))
+        previous_atomic = is_atomic
+    return "".join(parts)
+
+
+def _serialize_node(node: Node, inherited: dict[str, str]) -> str:
+    if isinstance(node, DocumentNode):
+        return "".join(_serialize_node(child, inherited)
+                       for child in node.children)
+    if isinstance(node, ElementNode):
+        return _serialize_element(node, inherited)
+    if isinstance(node, AttributeNode):
+        return f'{node.name.lexical}="{_escape_attribute(node.string_value())}"'
+    if node.kind == "text":
+        return _escape_text(node.string_value())
+    if node.kind == "comment":
+        return f"<!--{node.string_value()}-->"
+    if node.kind == "processing-instruction":
+        content = node.string_value()
+        body = f" {content}" if content else ""
+        return f"<?{node.name.local}{body}?>"  # type: ignore[union-attr]
+    raise ValueError(f"cannot serialize node kind {node.kind}")
+
+
+def _tag_name(element: ElementNode) -> str:
+    name = element.name
+    if name.prefix:
+        return f"{name.prefix}:{name.local}"
+    return name.local
+
+
+def _serialize_element(element: ElementNode,
+                       inherited: dict[str, str]) -> str:
+    parts = [f"<{_tag_name(element)}"]
+
+    scope = dict(inherited)
+    declarations: list[tuple[str, str]] = []
+    name = element.name
+    # Declare the element's own namespace if needed.
+    if name.prefix:
+        if scope.get(name.prefix) != name.uri:
+            declarations.append((f"xmlns:{name.prefix}", name.uri))
+            scope[name.prefix] = name.uri
+    elif scope.get("", "") != name.uri:
+        declarations.append(("xmlns", name.uri))
+        scope[""] = name.uri
+    # Declare prefixes used by attributes.
+    for attribute in element.attributes:
+        attr_name = attribute.name
+        if attr_name.prefix and scope.get(attr_name.prefix) != attr_name.uri:
+            declarations.append((f"xmlns:{attr_name.prefix}", attr_name.uri))
+            scope[attr_name.prefix] = attr_name.uri
+
+    for declaration, uri in declarations:
+        parts.append(f' {declaration}="{_escape_attribute(uri)}"')
+    for attribute in element.attributes:
+        parts.append(f" {_serialize_node(attribute, scope)}")
+
+    if not element.children:
+        parts.append("/>")
+        return "".join(parts)
+
+    parts.append(">")
+    for child in element.children:
+        parts.append(_serialize_node(child, scope))
+    parts.append(f"</{_tag_name(element)}>")
+    return "".join(parts)

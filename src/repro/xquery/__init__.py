@@ -1,0 +1,7 @@
+"""XQuery engine: lexer, parser, and evaluator."""
+
+from .evaluator import Evaluator, evaluate, evaluate_module
+from .parser import parse_expression, parse_xquery
+
+__all__ = ["Evaluator", "evaluate", "evaluate_module", "parse_expression",
+           "parse_xquery"]

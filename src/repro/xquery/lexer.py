@@ -1,0 +1,187 @@
+"""XQuery tokenizer.
+
+Tokenization is *incremental*: the parser asks for the next token at a
+given source offset.  This makes direct element constructors easy to
+handle — when the parser sees ``<`` where a primary expression is
+expected, it abandons token mode and scans the constructor from the raw
+source, recursing into the main parser for each ``{...}`` enclosure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import XQueryStaticError
+
+#: Multi-character symbols, longest first so maximal munch wins.
+_SYMBOLS = [
+    "(:", "//", "::", ":=", "<<", ">>", "<=", ">=", "!=",
+    "..", "/", "(", ")", "[", "]", "{", "}", ",", ";", "$", "@",
+    ".", "|", "+", "-", "*", "?", "=", "<", ">", ":",
+]
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+
+_ENTITIES = {"amp": "&", "lt": "<", "gt": ">", "quot": '"', "apos": "'"}
+
+
+@dataclass(frozen=True)
+class Token:
+    type: str      # 'name' | 'integer' | 'decimal' | 'double' | 'string'
+                   # | 'symbol' | 'eof'
+    value: str
+    start: int
+    end: int
+
+    def is_symbol(self, *symbols: str) -> bool:
+        return self.type == "symbol" and self.value in symbols
+
+    def is_name(self, *names: str) -> bool:
+        return self.type == "name" and (not names or self.value in names)
+
+
+class Lexer:
+    """Scans one token at a time from a fixed source string."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.length = len(source)
+
+    def skip_ignorable(self, pos: int) -> int:
+        """Advance past whitespace and (possibly nested) comments."""
+        source, length = self.source, self.length
+        while pos < length:
+            char = source[pos]
+            if char in " \t\r\n":
+                pos += 1
+                continue
+            if source.startswith("(:", pos):
+                depth, pos = 1, pos + 2
+                while pos < length and depth:
+                    if source.startswith("(:", pos):
+                        depth += 1
+                        pos += 2
+                    elif source.startswith(":)", pos):
+                        depth -= 1
+                        pos += 2
+                    else:
+                        pos += 1
+                if depth:
+                    raise XQueryStaticError("unterminated comment '(:'")
+                continue
+            break
+        return pos
+
+    def next_token(self, pos: int) -> Token:
+        pos = self.skip_ignorable(pos)
+        source, length = self.source, self.length
+        if pos >= length:
+            return Token("eof", "", pos, pos)
+        char = source[pos]
+
+        if char in ("'", '"'):
+            return self._scan_string(pos)
+        if char.isdigit() or (char == "." and pos + 1 < length
+                              and source[pos + 1].isdigit()):
+            return self._scan_number(pos)
+        if char in _NAME_START or ord(char) > 127:
+            return self._scan_name(pos)
+        for symbol in _SYMBOLS:
+            if source.startswith(symbol, pos):
+                if symbol == "(:":  # comment — handled by skip_ignorable
+                    break
+                return Token("symbol", symbol, pos, pos + len(symbol))
+        raise XQueryStaticError(
+            f"unexpected character {char!r} at offset {pos}")
+
+    def _scan_string(self, pos: int) -> Token:
+        source, length = self.source, self.length
+        quote = source[pos]
+        start = pos
+        pos += 1
+        parts: list[str] = []
+        while pos < length:
+            char = source[pos]
+            if char == quote:
+                if pos + 1 < length and source[pos + 1] == quote:
+                    parts.append(quote)  # doubled quote escape
+                    pos += 2
+                    continue
+                return Token("string", "".join(parts), start, pos + 1)
+            if char == "&":
+                end = source.find(";", pos)
+                if end < 0 or end - pos > 12:
+                    raise XQueryStaticError("malformed entity reference "
+                                            "in string literal")
+                parts.append(_resolve_entity(source[pos + 1:end]))
+                pos = end + 1
+                continue
+            parts.append(char)
+            pos += 1
+        raise XQueryStaticError("unterminated string literal")
+
+    def _scan_number(self, pos: int) -> Token:
+        source, length = self.source, self.length
+        start = pos
+        seen_dot = False
+        seen_exponent = False
+        while pos < length:
+            char = source[pos]
+            if char.isdigit():
+                pos += 1
+            elif char == "." and not seen_dot and not seen_exponent:
+                # '..' is the parent-axis abbreviation, not a decimal point.
+                if source.startswith("..", pos):
+                    break
+                seen_dot = True
+                pos += 1
+            elif char in "eE" and not seen_exponent:
+                lookahead = pos + 1
+                if lookahead < length and source[lookahead] in "+-":
+                    lookahead += 1
+                if lookahead < length and source[lookahead].isdigit():
+                    seen_exponent = True
+                    pos = lookahead
+                else:
+                    break
+            else:
+                break
+        text = source[start:pos]
+        if seen_exponent:
+            token_type = "double"
+        elif seen_dot:
+            token_type = "decimal"
+        else:
+            token_type = "integer"
+        return Token(token_type, text, start, pos)
+
+    def _scan_name(self, pos: int) -> Token:
+        source, length = self.source, self.length
+        start = pos
+        while pos < length:
+            char = source[pos]
+            if char in _NAME_CHARS or ord(char) > 127:
+                # A trailing '.' or '-' not followed by a name char ends
+                # the name ('.': path context; '-': minus operator).
+                if char in ".-":
+                    next_char = source[pos + 1] if pos + 1 < length else ""
+                    if not (next_char in _NAME_CHARS or
+                            (next_char and ord(next_char) > 127)):
+                        break
+                    if char == "." and source.startswith("..", pos):
+                        break
+                pos += 1
+            else:
+                break
+        return Token("name", source[start:pos], start, pos)
+
+
+def _resolve_entity(reference: str) -> str:
+    if reference.startswith("#x") or reference.startswith("#X"):
+        return chr(int(reference[2:], 16))
+    if reference.startswith("#"):
+        return chr(int(reference[1:]))
+    if reference in _ENTITIES:
+        return _ENTITIES[reference]
+    raise XQueryStaticError(f"unknown entity &{reference};")

@@ -1,0 +1,99 @@
+"""Integration tests: the fn:between extension (paper §4 future work).
+
+"Adding an explicit 'between' function would solve the issue of
+Section 3.10" — this engine adds it: true same-value range semantics,
+always collapsible to a single index range scan.
+"""
+
+import pytest
+
+from repro import Database
+from repro.errors import XQueryTypeError
+
+
+@pytest.fixture()
+def between_db() -> Database:
+    database = Database()
+    database.create_table("orders", [("orddoc", "XML")])
+    docs = [
+        "<order><multi><price>250</price><price>50</price></multi>"
+        "</order>",                                    # existential trap
+        "<order><multi><price>150</price></multi></order>",
+        "<order><multi><price>90</price></multi></order>",
+        "<order><multi><price>20 USD</price></multi></order>",
+    ]
+    for doc in docs:
+        database.insert("orders", {"orddoc": doc})
+    database.create_xml_index("e_price", "orders", "orddoc",
+                              "//multi/price", "DOUBLE")
+    return database
+
+
+class TestSemantics:
+    def test_same_value_semantics(self, between_db):
+        result = between_db.xquery(
+            "db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+            "//multi[between(price, 100, 200)]",
+            use_indexes=False)
+        assert len(result) == 1   # only the true 150
+
+    def test_differs_from_existential_pair(self, between_db):
+        existential = between_db.xquery(
+            "db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+            "//multi[price > 100 and price < 200]",
+            use_indexes=False)
+        assert len(existential) == 2   # the 250/50 trap qualifies
+
+    def test_bounds_inclusive(self, between_db):
+        result = between_db.xquery(
+            "db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+            "//multi[between(price, 150, 150)]",
+            use_indexes=False)
+        assert len(result) == 1
+
+    def test_uncastable_values_skipped(self, between_db):
+        result = between_db.xquery(
+            "db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+            "//multi[between(price, 0, 1000)]",
+            use_indexes=False)
+        assert len(result) == 3   # '20 USD' never matches numerically
+
+    def test_string_between(self, between_db):
+        result = between_db.xquery(
+            "between(('apple', 'fig'), 'b', 'g')", use_indexes=False)
+        assert result.serialize() == ["true"]
+
+    def test_empty_bound_rejected(self, between_db):
+        with pytest.raises(XQueryTypeError):
+            between_db.xquery("between((1), (), 2)", use_indexes=False)
+
+    def test_empty_sequence_is_false(self, between_db):
+        result = between_db.xquery("between((), 1, 2)",
+                                   use_indexes=False)
+        assert result.serialize() == ["false"]
+
+
+class TestPlanning:
+    def test_single_range_scan(self, between_db):
+        query = ("db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+                 "//multi[between(price, 100, 200)]")
+        result = between_db.xquery(query)
+        assert result.stats.index_scans == 1
+        assert result.stats.indexes_used == ["e_price"]
+        baseline = between_db.xquery(query, use_indexes=False)
+        assert result.serialize() == baseline.serialize()
+
+    def test_where_clause_form(self, between_db):
+        query = ("for $m in db2-fn:xmlcolumn('ORDERS.ORDDOC')//multi "
+                 "where between($m/price, 100, 200) return $m")
+        result = between_db.xquery(query)
+        assert result.stats.index_scans == 1
+        baseline = between_db.xquery(query, use_indexes=False)
+        assert result.serialize() == baseline.serialize()
+
+    def test_plan_note_mentions_collapse(self, between_db):
+        result = between_db.xquery(
+            "db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+            "//multi[between(price, 100, 200)]")
+        assert any("single range scan" in note
+                   for note in result.stats.plan_notes)

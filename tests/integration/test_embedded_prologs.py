@@ -1,0 +1,79 @@
+"""Embedded XQuery with prologs inside SQL/XML functions.
+
+The paper's namespace discussion (§3.7) applies equally when the
+XQuery is embedded in XMLQUERY/XMLEXISTS; embedded prologs (namespace
+declarations, declared functions) must work there too.
+"""
+
+import pytest
+
+from repro import Database
+
+NS = "http://ournamespaces.com/order"
+
+
+@pytest.fixture()
+def ns_sql_db() -> Database:
+    database = Database()
+    database.create_table("orders", [("ordid", "INTEGER"),
+                                     ("orddoc", "XML")])
+    database.insert("orders", {
+        "ordid": 1,
+        "orddoc": f'<order xmlns="{NS}"><lineitem price="1500"/>'
+                  "</order>"})
+    database.insert("orders", {
+        "ordid": 2,
+        "orddoc": '<order><lineitem price="1500"/></order>'})
+    return database
+
+
+class TestEmbeddedPrologs:
+    def test_default_namespace_in_xmlexists(self, ns_sql_db):
+        result = ns_sql_db.sql(
+            "SELECT ordid FROM orders WHERE XMLEXISTS('"
+            f'declare default element namespace "{NS}"; '
+            "$d/order[lineitem/@price > 1000]' PASSING orddoc AS \"d\")")
+        assert [row[0] for row in result.rows] == [1]
+
+    def test_no_namespace_matches_plain_doc(self, ns_sql_db):
+        result = ns_sql_db.sql(
+            "SELECT ordid FROM orders WHERE XMLEXISTS("
+            "'$d/order[lineitem/@price > 1000]' PASSING orddoc "
+            "AS \"d\")")
+        assert [row[0] for row in result.rows] == [2]
+
+    def test_wildcard_matches_both(self, ns_sql_db):
+        result = ns_sql_db.sql(
+            "SELECT ordid FROM orders WHERE XMLEXISTS("
+            "'$d/*:order[*:lineitem/@price > 1000]' PASSING orddoc "
+            "AS \"d\")")
+        assert [row[0] for row in result.rows] == [1, 2]
+
+    def test_declared_function_in_xmlquery(self, ns_sql_db):
+        result = ns_sql_db.sql(
+            "SELECT XMLCAST(XMLQUERY('"
+            "declare function local:prices($d) "
+            "{ count($d//*:lineitem/@price) }; "
+            "local:prices($doc)' PASSING orddoc AS \"doc\") AS INTEGER) "
+            "FROM orders WHERE ordid = 1")
+        assert result.rows == [(1,)]
+
+    def test_namespace_index_through_sql(self, ns_sql_db):
+        ns_sql_db.execute(
+            "CREATE INDEX li_ns ON orders(orddoc) USING XMLPATTERN "
+            f"'declare default element namespace \"{NS}\"; "
+            "//lineitem/@price' AS DOUBLE")
+        result = ns_sql_db.sql(
+            "SELECT ordid FROM orders WHERE XMLEXISTS('"
+            f'declare default element namespace "{NS}"; '
+            "$d/order[lineitem/@price > 1000]' PASSING orddoc AS \"d\")")
+        assert [row[0] for row in result.rows] == [1]
+        assert "li_ns" in result.stats.indexes_used
+
+    def test_xmltable_with_prolog(self, ns_sql_db):
+        result = ns_sql_db.sql(
+            "SELECT t.price FROM orders o, XMLTABLE('"
+            f'declare default element namespace "{NS}"; '
+            "$d//lineitem' PASSING o.orddoc AS \"d\" "
+            "COLUMNS price DOUBLE PATH '@price') AS t")
+        assert result.rows == [(1500.0,)]

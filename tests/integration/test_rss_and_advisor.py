@@ -1,0 +1,110 @@
+"""Integration tests: schema-flexible RSS workloads and the advisor."""
+
+import pytest
+
+from repro import Database
+from repro.core import advise, advise_index_pattern
+from repro.workload import WorkloadGenerator
+
+
+@pytest.fixture()
+def rss_db() -> Database:
+    database = Database()
+    database.create_table("feeds", [("fid", "INTEGER"),
+                                    ("feed", "XML")])
+    generator = WorkloadGenerator(seed=7)
+    for feed_id in range(1, 21):
+        database.insert("feeds", {"fid": feed_id,
+                                  "feed": generator.rss_feed(feed_id)})
+    return database
+
+
+class TestRSSWorkload:
+    """RSS allows elements of any namespace anywhere (§1): queries must
+    cope with extension elements they did not anticipate."""
+
+    def test_titles_query(self, rss_db):
+        result = rss_db.xquery(
+            "for $t in db2-fn:xmlcolumn('FEEDS.FEED')"
+            "/rss/channel/item/title return $t/data(.)")
+        assert len(result) == 100  # 20 feeds x 5 items
+
+    def test_foreign_namespace_extensions_queryable(self, rss_db):
+        result = rss_db.xquery(
+            'declare namespace dc="http://purl.org/dc/elements/1.1/"; '
+            "db2-fn:xmlcolumn('FEEDS.FEED')//item[dc:creator]")
+        baseline = rss_db.xquery(
+            "db2-fn:xmlcolumn('FEEDS.FEED')//item[*:creator]")
+        assert len(result) == len(baseline)
+        assert len(result) > 0
+
+    def test_wildcard_namespace_index_covers_extensions(self, rss_db):
+        rss_db.execute(
+            "CREATE INDEX any_creator ON feeds(feed) "
+            "USING XMLPATTERN '//*:creator' AS VARCHAR")
+        index = rss_db.xml_indexes["any_creator"]
+        assert len(index) > 0
+
+    def test_date_index_on_pubdate(self, rss_db):
+        rss_db.execute(
+            "CREATE INDEX pubdate ON feeds(feed) "
+            "USING XMLPATTERN '//item/pubDate' AS DATE")
+        query = ("db2-fn:xmlcolumn('FEEDS.FEED')//item"
+                 "[pubDate/xs:date(.) ge xs:date('2006-09-20')]")
+        result = rss_db.xquery(query)
+        baseline = rss_db.xquery(query, use_indexes=False)
+        assert result.serialize() == baseline.serialize()
+        assert "pubdate" in result.stats.indexes_used
+
+
+class TestAdvisorIntegration:
+    def test_tips_cover_the_pitfall_catalogue(self, indexed_db):
+        scenarios = {
+            1: 'for $i in db2-fn:xmlcolumn("ORDERS.ORDDOC")'
+               '//order[lineitem/@price > "100"] return $i',
+            2: "SELECT XMLQuery('$o//lineitem[@price > 100]' "
+               'passing orddoc as "o") FROM orders',
+            3: "SELECT ordid FROM orders WHERE XMLExists("
+               "'$o//lineitem/@price > 100' passing orddoc as \"o\")",
+            4: "SELECT o.ordid, t.price FROM orders o, "
+               "XMLTable('$d//lineitem' passing o.orddoc as \"d\" "
+               "COLUMNS price DOUBLE PATH '@price[. > 100]') AS t",
+            7: "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order "
+               "return <r>{$o/lineitem[@price > 100]}</r>",
+            8: "let $o := <n>{db2-fn:xmlcolumn('ORDERS.ORDDOC')/order}"
+               "</n> return $o[//custid]",
+        }
+        for tip, query in scenarios.items():
+            tips = {item.tip for item in advise(indexed_db, query)}
+            assert tip in tips, f"expected Tip {tip} for {query!r}"
+
+    def test_between_advice(self, indexed_db):
+        advice = advise(
+            indexed_db,
+            "db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+            "//lineitem[price > 100 and price < 200]")
+        assert any(item.section == "3.10" for item in advice)
+
+    def test_clean_query_no_warnings(self, indexed_db):
+        advice = advise(
+            indexed_db,
+            "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+            "//order[lineitem/@price>100] return $i")
+        assert [item for item in advice if item.severity == "warning"] \
+            == []
+
+    def test_index_pattern_lints(self):
+        assert any(item.tip == 12
+                   for item in advise_index_pattern("//node()"))
+        assert any(item.tip == 10
+                   for item in advise_index_pattern("//nation"))
+        assert advise_index_pattern("//@*") == []
+
+    def test_sql_join_advice(self, indexed_db):
+        advice = advise(
+            indexed_db,
+            "SELECT c.cid FROM orders o, customer c, "
+            "WHERE XMLCast(XMLQuery('$o/order/custid' passing o.orddoc "
+            "as \"o\") as DOUBLE) = XMLCast(XMLQuery('$c/customer/id' "
+            "passing c.cdoc as \"c\") as DOUBLE)")
+        assert any(item.tip == 6 for item in advice)

@@ -1,0 +1,118 @@
+"""Integration tests: SQL aggregates, GROUP BY, HAVING.
+
+Not required by the paper, but needed by the order-analytics workloads
+its introduction motivates: XMLTABLE shredding feeding relational
+aggregation is the canonical SQL/XML reporting pattern.
+"""
+
+import pytest
+from decimal import Decimal
+
+from repro import Database
+from repro.errors import SQLError
+
+
+@pytest.fixture()
+def sales_db() -> Database:
+    database = Database()
+    database.create_table("orders", [("ordid", "INTEGER"),
+                                     ("region", "VARCHAR(10)"),
+                                     ("orddoc", "XML")])
+    rows = [
+        (1, "east", "<order><lineitem price='100' quantity='1'/>"
+                    "<lineitem price='50' quantity='2'/></order>"),
+        (2, "east", "<order><lineitem price='200' quantity='1'/>"
+                    "</order>"),
+        (3, "west", "<order><lineitem price='10' quantity='5'/>"
+                    "</order>"),
+        (4, "west", None),
+    ]
+    for ordid, region, doc in rows:
+        database.insert("orders", {"ordid": ordid, "region": region,
+                                   "orddoc": doc})
+    return database
+
+
+class TestAggregates:
+    def test_count_star(self, sales_db):
+        result = sales_db.sql("SELECT COUNT(*) FROM orders")
+        assert result.rows == [(4,)]
+
+    def test_count_skips_nulls(self, sales_db):
+        result = sales_db.sql(
+            "SELECT COUNT(XMLCAST(XMLQUERY('($d//lineitem/@price)[1]' "
+            "PASSING orddoc AS \"d\") AS DOUBLE)) FROM orders")
+        assert result.rows == [(3,)]
+
+    def test_min_max(self, sales_db):
+        result = sales_db.sql("SELECT MIN(ordid), MAX(ordid) FROM orders")
+        assert result.rows == [(1, 4)]
+
+    def test_sum_avg_empty_group_is_null(self, sales_db):
+        result = sales_db.sql(
+            "SELECT SUM(ordid), COUNT(*) FROM orders WHERE ordid > 99")
+        assert result.rows == [(None, 0)]
+
+    def test_group_by_with_aliases(self, sales_db):
+        result = sales_db.sql(
+            "SELECT region, COUNT(*) AS n FROM orders "
+            "GROUP BY region ORDER BY region")
+        assert result.rows == [("east", 2), ("west", 2)]
+        assert result.columns == ["region", "n"]
+
+    def test_group_by_over_xmltable(self, sales_db):
+        # The canonical SQL/XML reporting shape: shred, then aggregate.
+        result = sales_db.sql(
+            "SELECT o.region, SUM(t.price) FROM orders o, "
+            "XMLTABLE('$d//lineitem' PASSING o.orddoc AS \"d\" "
+            "COLUMNS price DOUBLE PATH '@price', "
+            "qty DOUBLE PATH '@quantity') AS t "
+            "GROUP BY o.region ORDER BY o.region")
+        assert result.rows == [("east", 350.0), ("west", 10.0)]
+
+    def test_having(self, sales_db):
+        result = sales_db.sql(
+            "SELECT region, COUNT(orddoc) FROM orders "
+            "GROUP BY region HAVING COUNT(orddoc) > 1")
+        assert result.rows == [("east", 2)]
+
+    def test_distinct_aggregate(self, sales_db):
+        result = sales_db.sql(
+            "SELECT COUNT(DISTINCT region) FROM orders")
+        assert result.rows == [(2,)]
+
+    def test_avg(self, sales_db):
+        result = sales_db.sql("SELECT AVG(ordid) FROM orders")
+        assert result.rows[0][0] == 2.5
+
+    def test_order_by_aggregate(self, sales_db):
+        result = sales_db.sql(
+            "SELECT region, MAX(ordid) FROM orders GROUP BY region "
+            "ORDER BY MAX(ordid) DESC")
+        assert result.rows == [("west", 4), ("east", 2)]
+
+    def test_group_key_padding(self, sales_db):
+        sales_db.insert("orders", {"ordid": 9, "region": "east  ",
+                                   "orddoc": None})
+        result = sales_db.sql(
+            "SELECT region, COUNT(*) FROM orders GROUP BY region "
+            "ORDER BY region")
+        assert [row[1] for row in result.rows] == [3, 2]
+
+    def test_xml_aggregate_rejected(self, sales_db):
+        with pytest.raises(SQLError):
+            sales_db.sql("SELECT MAX(orddoc) FROM orders")
+
+    def test_group_by_xml_rejected(self, sales_db):
+        with pytest.raises(SQLError):
+            sales_db.sql("SELECT COUNT(*) FROM orders GROUP BY orddoc")
+
+    def test_aggregate_with_where_and_index(self, sales_db):
+        sales_db.execute(
+            "CREATE INDEX li_price ON orders(orddoc) "
+            "USING XMLPATTERN '//lineitem/@price' AS DOUBLE")
+        result = sales_db.sql(
+            "SELECT COUNT(*) FROM orders WHERE XMLEXISTS("
+            "'$d//lineitem[@price > 90]' PASSING orddoc AS \"d\")")
+        assert result.rows == [(2,)]
+        assert "li_price" in result.stats.indexes_used

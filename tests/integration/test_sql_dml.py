@@ -1,0 +1,110 @@
+"""Integration tests: SQL INSERT and DELETE statements."""
+
+import pytest
+
+from repro import Database
+from repro.errors import SQLError
+
+
+@pytest.fixture()
+def dml_db() -> Database:
+    database = Database()
+    database.execute("CREATE TABLE orders (ordid INTEGER, orddoc XML)")
+    database.execute("CREATE INDEX li_price ON orders(orddoc) "
+                     "USING XMLPATTERN '//lineitem/@price' AS DOUBLE")
+    return database
+
+
+class TestInsert:
+    def test_insert_with_columns(self, dml_db):
+        result = dml_db.execute(
+            "INSERT INTO orders (ordid, orddoc) VALUES "
+            "(1, '<order><lineitem price=\"150\"/></order>')")
+        assert result.rows == [(1,)]
+        assert len(dml_db.table("orders")) == 1
+
+    def test_insert_multiple_rows(self, dml_db):
+        dml_db.execute(
+            "INSERT INTO orders (ordid, orddoc) VALUES "
+            "(1, '<order><lineitem price=\"150\"/></order>'), "
+            "(2, '<order><lineitem price=\"90\"/></order>')")
+        assert len(dml_db.table("orders")) == 2
+
+    def test_inserted_docs_are_indexed(self, dml_db):
+        dml_db.execute(
+            "INSERT INTO orders (ordid, orddoc) VALUES "
+            "(1, '<order><lineitem price=\"150\"/></order>')")
+        result = dml_db.xquery(
+            "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[@price > 100]")
+        assert len(result) == 1
+        assert result.stats.indexes_used == ["li_price"]
+
+    def test_insert_constructed_xml(self, dml_db):
+        dml_db.execute(
+            "INSERT INTO orders (ordid, orddoc) VALUES "
+            "(5, XMLQUERY('<order><lineitem price=\"{200}\"/>"
+            "</order>'))")
+        result = dml_db.sql(
+            "SELECT ordid FROM orders WHERE XMLEXISTS("
+            "'$d//lineitem[@price = 200]' PASSING orddoc AS \"d\")")
+        assert result.rows == [(5,)]
+
+    def test_insert_null(self, dml_db):
+        dml_db.execute("INSERT INTO orders (ordid, orddoc) VALUES "
+                       "(7, NULL)")
+        assert dml_db.documents("orders", "orddoc") == []
+
+    def test_arity_mismatch(self, dml_db):
+        with pytest.raises(SQLError):
+            dml_db.execute("INSERT INTO orders (ordid, orddoc) "
+                           "VALUES (1)")
+
+    def test_implicit_column_order(self, dml_db):
+        dml_db.execute("INSERT INTO orders VALUES (3, '<order/>')")
+        result = dml_db.sql("SELECT ordid FROM orders")
+        assert result.rows == [(3,)]
+
+
+class TestDelete:
+    def fill(self, database: Database) -> None:
+        for ordid, price in [(1, 150), (2, 90), (3, 200)]:
+            database.insert("orders", {
+                "ordid": ordid,
+                "orddoc": f"<order><lineitem price='{price}'/></order>"})
+
+    def test_delete_all(self, dml_db):
+        self.fill(dml_db)
+        result = dml_db.execute("DELETE FROM orders")
+        assert result.rows == [(3,)]
+        assert len(dml_db.table("orders")) == 0
+        assert len(dml_db.xml_indexes["li_price"]) == 0
+
+    def test_delete_where_relational(self, dml_db):
+        self.fill(dml_db)
+        result = dml_db.execute("DELETE FROM orders WHERE ordid = 2")
+        assert result.rows == [(1,)]
+        remaining = dml_db.sql("SELECT ordid FROM orders ORDER BY ordid")
+        assert [row[0] for row in remaining.rows] == [1, 3]
+
+    def test_delete_where_xmlexists(self, dml_db):
+        self.fill(dml_db)
+        dml_db.execute(
+            "DELETE FROM orders o WHERE XMLEXISTS("
+            "'$d//lineitem[@price > 100]' PASSING o.orddoc AS \"d\")")
+        remaining = dml_db.sql("SELECT ordid FROM orders")
+        assert [row[0] for row in remaining.rows] == [2]
+
+    def test_delete_maintains_index_consistency(self, dml_db):
+        self.fill(dml_db)
+        dml_db.execute("DELETE FROM orders WHERE ordid = 1")
+        query = ("db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+                 "//lineitem[@price > 100]")
+        fast = dml_db.xquery(query)
+        slow = dml_db.xquery(query, use_indexes=False)
+        assert fast.serialize() == slow.serialize()
+        assert len(fast) == 1  # only the 200 remains
+
+    def test_delete_nothing(self, dml_db):
+        self.fill(dml_db)
+        result = dml_db.execute("DELETE FROM orders WHERE ordid = 99")
+        assert result.rows == [(0,)]

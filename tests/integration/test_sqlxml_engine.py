@@ -1,0 +1,181 @@
+"""Integration tests for the broader SQL/XML engine behaviour."""
+
+import pytest
+from decimal import Decimal
+
+from repro.errors import SQLCastError, SQLError
+from repro.sql.values import XMLValue
+
+
+class TestSelectBasics:
+    def test_relational_projection(self, paper_db):
+        result = paper_db.sql(
+            "SELECT id, name FROM products WHERE id = '17'")
+        assert result.rows == [("17", "trusty widget")]
+
+    def test_three_valued_logic(self, paper_db):
+        paper_db.insert("products", {"id": "99", "name": None})
+        result = paper_db.sql(
+            "SELECT id FROM products WHERE name = 'trusty widget'")
+        assert len(result) == 1  # NULL name row is UNKNOWN, not matched
+        result = paper_db.sql(
+            "SELECT id FROM products WHERE name IS NULL")
+        assert result.rows == [("99",)]
+        result = paper_db.sql(
+            "SELECT id FROM products WHERE name IS NOT NULL")
+        assert len(result) == 5
+
+    def test_not_and_or(self, paper_db):
+        result = paper_db.sql(
+            "SELECT id FROM products WHERE NOT (id = '17' OR id = '18')")
+        assert len(result) == 3
+
+    def test_order_by(self, paper_db):
+        result = paper_db.sql(
+            "SELECT id FROM products ORDER BY id DESC")
+        assert [row[0] for row in result.rows] == \
+            ["21", "20", "19", "18", "17"]
+
+    def test_cross_join_cardinality(self, paper_db):
+        result = paper_db.sql(
+            "SELECT p.id, c.cid FROM products p, customer c")
+        assert len(result) == 15
+
+    def test_padded_string_comparison(self, paper_db):
+        paper_db.insert("products", {"id": "pad", "name": "padded   "})
+        result = paper_db.sql(
+            "SELECT id FROM products WHERE name = 'padded'")
+        assert result.rows == [("pad",)]
+
+    def test_unknown_column_rejected(self, paper_db):
+        with pytest.raises(SQLError):
+            paper_db.sql("SELECT nonexistent FROM products")
+
+    def test_unknown_table_rejected(self, paper_db):
+        with pytest.raises(Exception):
+            paper_db.sql("SELECT a FROM missing_table")
+
+
+class TestXMLFunctions:
+    def test_xmlquery_passes_sql_types(self, paper_db):
+        # An INTEGER column crosses into XQuery as xs:integer.
+        result = paper_db.sql(
+            "SELECT XMLQUERY('$n + 1' PASSING cid AS \"n\") "
+            "FROM customer WHERE cid = 1")
+        value = result.rows[0][0].items[0]
+        assert value.value == 2
+
+    def test_xmlcast_empty_is_null(self, paper_db):
+        result = paper_db.sql(
+            "SELECT XMLCAST(XMLQUERY('$d//nothing' PASSING cdoc AS "
+            "\"d\") AS VARCHAR(10)) FROM customer WHERE cid = 1")
+        assert result.rows[0][0] is None
+
+    def test_xmlcast_decimal_scale(self, paper_db):
+        result = paper_db.sql(
+            "SELECT XMLCAST(XMLQUERY('$d//lineitem[1]/@price' PASSING "
+            "orddoc AS \"d\") AS DECIMAL(8,2)) FROM orders "
+            "WHERE ordid = 2")
+        assert result.rows[0][0] == Decimal("99.50")
+
+    def test_xmlcast_non_castable_errors(self, paper_db):
+        with pytest.raises(SQLCastError):
+            paper_db.sql(
+                "SELECT XMLCAST(XMLQUERY('$d//lineitem[1]/@price' "
+                "PASSING orddoc AS \"d\") AS DOUBLE) FROM orders "
+                "WHERE ordid = 4")   # '20 USD'
+
+    def test_xmlelement_publishing(self, paper_db):
+        result = paper_db.sql(
+            "SELECT XMLELEMENT(NAME product, XMLATTRIBUTES(id AS pid), "
+            "name) FROM products WHERE id = '17'")
+        rendered = result.serialize_rows()[0][0]
+        assert rendered == '<product pid="17">trusty widget</product>'
+
+    def test_xmlforest_and_concat(self, paper_db):
+        result = paper_db.sql(
+            "SELECT XMLCONCAT(XMLFOREST(id, name AS label)) "
+            "FROM products WHERE id = '18'")
+        rendered = result.serialize_rows()[0][0]
+        assert rendered == "<id>18</id><label>spare gadget</label>"
+
+    def test_xmlforest_skips_nulls(self, paper_db):
+        paper_db.insert("products", {"id": "nn", "name": None})
+        result = paper_db.sql(
+            "SELECT XMLFOREST(id, name) FROM products WHERE id = 'nn'")
+        rendered = result.serialize_rows()[0][0]
+        assert rendered == "<id>nn</id>"
+
+    def test_xmltable_for_ordinality(self, paper_db):
+        result = paper_db.sql(
+            "SELECT t.seq, t.price FROM orders o, "
+            "XMLTABLE('$d//lineitem' PASSING o.orddoc AS \"d\" "
+            "COLUMNS seq FOR ORDINALITY, "
+            "price VARCHAR(10) PATH '@price') AS t "
+            "WHERE o.ordid = 3")
+        assert result.rows == [(1, "150"), (2, "90")]
+
+    def test_xmltable_default_path_is_column_name(self, paper_db):
+        result = paper_db.sql(
+            "SELECT t.custid FROM orders o, "
+            "XMLTABLE('$d/order' PASSING o.orddoc AS \"d\" "
+            "COLUMNS custid DOUBLE) AS t WHERE o.ordid = 3")
+        assert result.rows == [(1001.0,)]
+
+    def test_xmltable_by_value_copies(self, paper_db):
+        result = paper_db.sql(
+            "SELECT t.li FROM orders o, "
+            "XMLTABLE('$d//lineitem[@price=150]' PASSING o.orddoc AS "
+            "\"d\" COLUMNS li XML PATH '.') AS t")
+        node = result.rows[0][0].items[0]
+        assert node.parent is None   # BY VALUE: fresh copy
+
+    def test_xmltable_multi_item_scalar_column_errors(self, paper_db):
+        with pytest.raises(SQLCastError):
+            paper_db.sql(
+                "SELECT t.ids FROM orders o, "
+                "XMLTABLE('$d/order' PASSING o.orddoc AS \"d\" "
+                "COLUMNS ids VARCHAR(20) PATH './/id') AS t "
+                "WHERE o.ordid = 3")
+
+    def test_values_statement(self, paper_db):
+        result = paper_db.sql("VALUES (1, 'x')")
+        assert result.rows == [(1, "x")]
+        assert result.columns == ["col1", "col2"]
+
+    def test_sqlquery_bridge(self, paper_db):
+        # db2-fn:sqlquery crosses back from XQuery into SQL.
+        result = paper_db.xquery(
+            "for $d in db2-fn:sqlquery('SELECT orddoc FROM orders "
+            "WHERE ordid = 3') return $d/order/custid/data(.)")
+        assert result.serialize() == ["1001"]
+
+
+class TestIndexedAccess:
+    def test_relational_index_point_lookup(self, indexed_db):
+        indexed_db.create_relational_index("p_id", "products", "id")
+        result = indexed_db.sql(
+            "SELECT name FROM products WHERE id = '17'")
+        assert result.rows == [("trusty widget",)]
+        assert "p_id" in result.stats.indexes_used
+
+    def test_sql_results_identical_with_and_without_indexes(
+            self, indexed_db):
+        statements = [
+            "SELECT ordid FROM orders WHERE XMLEXISTS("
+            "'$o//lineitem[@price > 100]' PASSING orddoc AS \"o\")",
+            "SELECT o.ordid, t.price FROM orders o, "
+            "XMLTABLE('$d//lineitem[@price > 50]' PASSING o.orddoc AS "
+            "\"d\" COLUMNS price VARCHAR(10) PATH '@price') AS t",
+        ]
+        for statement in statements:
+            fast = indexed_db.sql(statement, use_indexes=True)
+            slow = indexed_db.sql(statement, use_indexes=False)
+            assert fast.rows == slow.rows, statement
+
+    def test_xmlexists_with_two_predicates(self, indexed_db):
+        result = indexed_db.sql(
+            "SELECT ordid FROM orders WHERE XMLEXISTS("
+            "'$o/order[custid = 1001][lineitem/@price > 100]' "
+            "PASSING orddoc AS \"o\")")
+        assert [row[0] for row in result.rows] == [3]

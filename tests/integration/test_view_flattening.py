@@ -1,0 +1,154 @@
+"""Integration tests: the §3.6 view-flattening rewriter.
+
+The transformation must preserve every one of the paper's five hazard
+semantics — compensated comparisons keep the untypedAtomic /
+concatenation behaviour, attribute flattening is restricted to
+provably duplicate-free shapes, and identity-sensitive modules are
+refused outright.
+"""
+
+import pytest
+
+from repro import Database
+from repro.core import rewrite_view_flattening
+from repro.xquery.parser import parse_xquery
+
+VIEW_PREFIX = (
+    "let $view := for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+    "/order/lineitem return <item>{ $i/@quantity, "
+    "<pid>{ $i/product/id/data(.) }</pid> }</item> ")
+
+QUERY26 = VIEW_PREFIX + "for $j in $view where $j/pid = '17' return $j"
+
+
+@pytest.fixture()
+def view_db() -> Database:
+    database = Database()
+    database.create_table("orders", [("orddoc", "XML")])
+    docs = [
+        "<order><lineitem quantity='2'><product><id>17</id></product>"
+        "</lineitem></order>",
+        "<order><lineitem quantity='5'><product><id>18</id></product>"
+        "</lineitem></order>",
+        "<order><lineitem quantity='7'><product><id>p1</id><id>p2</id>"
+        "</product></lineitem></order>",
+    ]
+    for doc in docs:
+        database.insert("orders", {"orddoc": doc})
+    database.execute("CREATE INDEX li_qty ON orders(orddoc) "
+                     "USING XMLPATTERN '//lineitem/@quantity' AS DOUBLE")
+    return database
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("literal,expected", [
+        ("'17'", 1),
+        ("'p1 p2'", 1),    # hazard 3: concatenation must still match
+        ("'p2'", 0),       # ... and the single id must NOT
+        ("'nope'", 0),
+    ])
+    def test_pid_comparisons_preserved(self, view_db, literal, expected):
+        query = QUERY26.replace("'17'", literal)
+        plain = view_db.xquery(query)
+        rewritten = view_db.xquery(query, rewrite_views=True)
+        assert len(plain) == expected
+        assert plain.serialize() == rewritten.serialize()
+        assert any("view flattened" in note
+                   for note in rewritten.stats.plan_notes)
+
+    def test_projection_forms(self, view_db):
+        for suffix in ["return $j", "return $j/@quantity",
+                       "return $j/pid"]:
+            query = (VIEW_PREFIX +
+                     f"for $j in $view where $j/pid = '17' {suffix}")
+            plain = view_db.xquery(query)
+            rewritten = view_db.xquery(query, rewrite_views=True)
+            assert plain.serialize() == rewritten.serialize(), suffix
+
+    def test_attribute_predicate(self, view_db):
+        query = (VIEW_PREFIX +
+                 "for $j in $view where $j/@quantity > 4 return $j")
+        plain = view_db.xquery(query)
+        rewritten = view_db.xquery(query, rewrite_views=True)
+        assert plain.serialize() == rewritten.serialize()
+        assert len(plain) == 2
+
+    def test_conjunction(self, view_db):
+        query = (VIEW_PREFIX + "for $j in $view "
+                 "where $j/@quantity > 1 and $j/pid = '17' return $j")
+        plain = view_db.xquery(query)
+        rewritten = view_db.xquery(query, rewrite_views=True)
+        assert plain.serialize() == rewritten.serialize()
+        assert len(plain) == 1
+
+    def test_no_where_clause(self, view_db):
+        query = VIEW_PREFIX + "for $j in $view return $j/pid"
+        plain = view_db.xquery(query)
+        rewritten = view_db.xquery(query, rewrite_views=True)
+        assert plain.serialize() == rewritten.serialize()
+
+
+class TestIndexEnablement:
+    def test_attribute_predicate_uses_base_index(self, view_db):
+        query = (VIEW_PREFIX +
+                 "for $j in $view where $j/@quantity > 4 return $j")
+        plain = view_db.xquery(query)
+        rewritten = view_db.xquery(query, rewrite_views=True)
+        assert plain.stats.indexes_used == []
+        assert rewritten.stats.indexes_used == ["li_qty"]
+        assert rewritten.stats.docs_scanned < plain.stats.docs_scanned
+
+    def test_compensated_comparison_stays_unindexed(self, view_db):
+        # §3.6: "these extra conversions are an impediment to index
+        # eligibility" — faithful even after flattening.
+        view_db.execute("CREATE INDEX li_pid ON orders(orddoc) "
+                        "USING XMLPATTERN '//lineitem/product/id' "
+                        "AS VARCHAR")
+        rewritten = view_db.xquery(QUERY26, rewrite_views=True)
+        assert rewritten.stats.indexes_used == []
+
+
+class TestRefusals:
+    def test_identity_sensitive_module_refused(self, view_db):
+        query = (VIEW_PREFIX +
+                 "for $j in $view where $j/pid = '17' "
+                 "return ($j except db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+                 "//lineitem)")
+        rewritten = view_db.xquery(query, rewrite_views=True)
+        plain = view_db.xquery(query)
+        assert any("refused" in note and "hazard 5" in note
+                   for note in rewritten.stats.plan_notes)
+        assert rewritten.serialize() == plain.serialize()
+
+    def test_deep_attribute_refused(self):
+        # hazard 4: $i/product/@price may produce duplicate attributes.
+        module = parse_xquery(
+            "let $view := for $i in db2-fn:xmlcolumn('T.D')/a "
+            "return <v>{ $i/b/@x }</v> "
+            "for $j in $view where $j/@x = '1' return $j")
+        result = rewrite_view_flattening(module)
+        assert not result.applied
+        assert any("hazard 4" in hazard for hazard in result.hazards)
+
+    def test_unrelated_query_untouched(self):
+        module = parse_xquery("for $x in (1,2,3) return $x")
+        result = rewrite_view_flattening(module)
+        assert not result.applied
+        assert result.module is module
+
+    def test_unknown_view_member_refused(self, view_db):
+        query = (VIEW_PREFIX +
+                 "for $j in $view where $j/nope = '1' return $j")
+        rewritten = view_db.xquery(query, rewrite_views=True)
+        plain = view_db.xquery(query)
+        assert rewritten.serialize() == plain.serialize()
+        assert any("refused" in note
+                   for note in rewritten.stats.plan_notes)
+
+    def test_complex_consumer_refused(self):
+        module = parse_xquery(
+            "let $view := for $i in db2-fn:xmlcolumn('T.D')/a "
+            "return <v>{ $i/@x }</v> "
+            "for $j in $view for $k in $view return ($j, $k)")
+        result = rewrite_view_flattening(module)
+        assert not result.applied

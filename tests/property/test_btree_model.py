@@ -1,0 +1,86 @@
+"""Property-based tests: B+Tree vs a dictionary model."""
+
+from collections import defaultdict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (RuleBasedStateMachine, invariant, rule)
+
+from repro.storage.btree import BPlusTree
+
+keys = st.integers(min_value=-50, max_value=50)
+values = st.integers(min_value=0, max_value=5)
+
+
+@given(st.lists(st.tuples(keys, values)))
+def test_insert_matches_model(pairs):
+    tree = BPlusTree(order=4)
+    model = defaultdict(list)
+    for key, value in pairs:
+        tree.insert(key, value)
+        model[key].append(value)
+    tree.check_invariants()
+    assert list(tree.keys()) == sorted(model)
+    for key, bucket in model.items():
+        assert sorted(tree.get(key)) == sorted(bucket)
+    assert len(tree) == sum(len(bucket) for bucket in model.values())
+
+
+@given(st.lists(st.tuples(keys, values), max_size=80),
+       keys, keys, st.booleans(), st.booleans())
+def test_range_scan_matches_model(pairs, low, high, low_inc, high_inc):
+    tree = BPlusTree(order=4)
+    model = []
+    for key, value in pairs:
+        tree.insert(key, value)
+        model.append((key, value))
+    expected = sorted(
+        (key, value) for key, value in model
+        if (key > low or (low_inc and key == low)) and
+           (key < high or (high_inc and key == high)))
+    got = sorted(tree.scan(low, high, low_inc, high_inc))
+    assert got == expected
+
+
+class BTreeMachine(RuleBasedStateMachine):
+    """Stateful test: interleaved inserts/deletes keep invariants."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = BPlusTree(order=4)
+        self.model: dict[int, list[int]] = defaultdict(list)
+
+    @rule(key=keys, value=values)
+    def insert(self, key, value):
+        self.tree.insert(key, value)
+        self.model[key].append(value)
+
+    @rule(key=keys, value=values)
+    def delete_entry(self, key, value):
+        expected = value in self.model.get(key, [])
+        got = self.tree.delete(key, value)
+        assert got == expected
+        if expected:
+            self.model[key].remove(value)
+            if not self.model[key]:
+                del self.model[key]
+
+    @rule(key=keys)
+    def delete_key(self, key):
+        expected = key in self.model
+        got = self.tree.delete(key)
+        assert got == expected
+        self.model.pop(key, None)
+
+    @invariant()
+    def matches_model(self):
+        self.tree.check_invariants()
+        assert list(self.tree.keys()) == sorted(self.model)
+        assert len(self.tree) == sum(len(bucket)
+                                     for bucket in self.model.values())
+
+
+TestBTreeMachine = BTreeMachine.TestCase
+TestBTreeMachine.settings = settings(max_examples=30,
+                                     stateful_step_count=40,
+                                     deadline=None)

@@ -1,0 +1,87 @@
+"""Property-based tests on comparison semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import XQueryTypeError
+from repro.xdm import atomic
+from repro.xdm.compare import general_compare, value_compare
+
+numbers = st.one_of(
+    st.integers(min_value=-1000, max_value=1000).map(atomic.integer),
+    st.floats(min_value=-1000, max_value=1000, allow_nan=False,
+              allow_infinity=False).map(atomic.double),
+)
+
+untyped_numbers = st.integers(min_value=-100, max_value=100).map(
+    lambda value: atomic.untyped(str(value)))
+
+mixed = st.one_of(numbers, untyped_numbers)
+
+
+@given(st.lists(mixed, max_size=4), st.lists(mixed, max_size=4))
+def test_general_comparison_is_existential(left, right):
+    """a = b over sequences iff SOME pair compares equal."""
+    expected = False
+    for left_atom in left:
+        for right_atom in right:
+            try:
+                result = value_compare(
+                    "eq",
+                    [atomic.cast(left_atom, atomic.T_DOUBLE)],
+                    [atomic.cast(right_atom, atomic.T_DOUBLE)])
+            except XQueryTypeError:
+                continue
+            if result and result[0].value:
+                expected = True
+    assert general_compare("=", left, right) is expected
+
+
+@given(mixed, mixed)
+def test_general_comparison_trichotomy(left, right):
+    equal = general_compare("=", [left], [right])
+    less = general_compare("<", [left], [right])
+    greater = general_compare(">", [left], [right])
+    assert [equal, less, greater].count(True) == 1
+
+
+@given(mixed, mixed)
+def test_general_negation_duality_on_singletons(left, right):
+    assert general_compare("=", [left], [right]) != \
+        general_compare("!=", [left], [right])
+    assert general_compare("<", [left], [right]) != \
+        general_compare(">=", [left], [right])
+
+
+@given(numbers, numbers)
+def test_value_comparison_antisymmetry(left, right):
+    lt = value_compare("lt", [left], [right])[0].value
+    gt = value_compare("gt", [right], [left])[0].value
+    assert lt == gt
+
+
+@settings(max_examples=200)
+@given(st.text(max_size=6), st.text(max_size=6))
+def test_string_comparison_matches_python(left, right):
+    result = value_compare("eq", [atomic.string(left)],
+                           [atomic.string(right)])
+    assert result[0].value == (left == right)
+    order = value_compare("lt", [atomic.string(left)],
+                          [atomic.string(right)])
+    assert order[0].value == (left < right)
+
+
+@given(st.integers(min_value=-10**18, max_value=10**18))
+def test_long_roundtrip_through_string_is_exact(value):
+    atom = atomic.long_integer(value)
+    text = atomic.cast(atom, atomic.T_STRING)
+    back = atomic.cast(text, atomic.T_LONG)
+    assert back.value == value
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False))
+def test_double_roundtrip_through_string(value):
+    atom = atomic.double(value)
+    text = atomic.cast(atom, atomic.T_STRING)
+    back = atomic.cast(text, atomic.T_DOUBLE)
+    assert back.value == value

@@ -1,0 +1,84 @@
+"""Property-based soundness test for pattern containment.
+
+If ``pattern_contains(P, Q)`` then every concrete feasible path matched
+by Q must be matched by P — checked against randomly generated patterns
+and randomly generated document paths.  (The reverse direction —
+completeness — is covered by the curated table in unit tests.)
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.patterns import (PathComponent, parse_xmlpattern,
+                                 pattern_contains)
+
+names = st.sampled_from(["a", "b", "c", "order", "lineitem", "price"])
+uris = st.sampled_from(["", "http://one", "http://two"])
+
+
+@st.composite
+def pattern_texts(draw) -> str:
+    steps = []
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        separator = draw(st.sampled_from(["/", "//"]))
+        test = draw(st.sampled_from(
+            ["NAME", "*", "*:NAME", "@NAME", "@*", "text()", "node()"]))
+        test = test.replace("NAME", draw(names))
+        steps.append(f"{separator}{test}")
+    text = "".join(steps)
+    # Attribute / text steps only make sense in final position —
+    # rearrange by truncating after the first such step.
+    for index, step in enumerate(steps[:-1]):
+        if "@" in step or "text()" in step:
+            text = "".join(steps[:index + 1])
+            break
+    return text
+
+
+@st.composite
+def document_paths(draw) -> list[PathComponent]:
+    """Feasible root-to-node paths: intermediates are elements, and an
+    attribute/text node always hangs off an element (depth >= 2)."""
+    depth = draw(st.integers(min_value=1, max_value=5))
+    final_kind = draw(st.sampled_from(["element", "attribute", "text"]))
+    if final_kind != "element":
+        depth = max(depth, 2)
+    path = [PathComponent("element", draw(uris), draw(names))
+            for _ in range(depth - 1)]
+    if final_kind == "element":
+        path.append(PathComponent("element", draw(uris), draw(names)))
+    elif final_kind == "attribute":
+        path.append(PathComponent("attribute", "", draw(names)))
+    else:
+        path.append(PathComponent("text"))
+    return path
+
+
+@settings(max_examples=300, deadline=None)
+@given(pattern_texts(), pattern_texts(), document_paths())
+def test_containment_soundness(index_text, query_text, path):
+    index_pattern = parse_xmlpattern(index_text)
+    query_pattern = parse_xmlpattern(query_text)
+    if pattern_contains(index_pattern, query_pattern):
+        if query_pattern.matches_path(path):
+            assert index_pattern.matches_path(path), (
+                f"containment claimed {index_text!r} ⊇ {query_text!r} "
+                f"but {path} matches only the query")
+
+
+@settings(max_examples=100, deadline=None)
+@given(pattern_texts())
+def test_containment_reflexive(text):
+    pattern = parse_xmlpattern(text)
+    assert pattern_contains(pattern, pattern)
+
+
+@settings(max_examples=100, deadline=None)
+@given(pattern_texts(), document_paths())
+def test_wildcard_attribute_superset(text, path):
+    """//@* must contain every attribute-final pattern."""
+    pattern = parse_xmlpattern(text)
+    broad = parse_xmlpattern("//@*")
+    final_kinds = {test.kind for test in pattern.final_tests()}
+    if final_kinds == {"attribute"}:
+        assert pattern_contains(broad, pattern)

@@ -1,0 +1,125 @@
+"""Property-based tests of the paper's query-equivalence claims.
+
+Section 3.4 asserts several semantic (in)equivalences between FLWOR
+formulations.  These must hold on *every* collection, so we check them
+over randomly generated ones:
+
+* Query 20 ≡ Query 21 (path-in-where vs let + where);
+* Query 17's cardinality = number of qualifying lineitems, while
+  Query 18's = number of documents;
+* Query 19 returns one element per order; Query 22 drops empties;
+* predicate-in-path ≡ predicate-in-where for for-clauses.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database
+
+prices = st.one_of(
+    st.integers(min_value=0, max_value=300),
+    st.sampled_from(["20 USD", ""]),
+)
+collections = st.lists(st.lists(prices, max_size=3), max_size=10)
+
+
+def build_db(collection) -> Database:
+    database = Database(index_order=4)
+    database.create_table("t", [("d", "XML")])
+    for item_prices in collection:
+        items = "".join(f'<lineitem price="{price}"/>'
+                        for price in item_prices)
+        database.insert("t", {"d": f"<order>{items}</order>"})
+    database.create_xml_index("idx", "t", "d", "//lineitem/@price",
+                              "DOUBLE")
+    return database
+
+
+Q20 = ("for $ord in db2-fn:xmlcolumn('T.D')/order "
+       "where $ord/lineitem/@price > 100 "
+       "return <result>{$ord/lineitem}</result>")
+Q21 = ("for $ord in db2-fn:xmlcolumn('T.D')/order "
+       "let $price := $ord/lineitem/@price where $price > 100 "
+       "return <result>{$ord/lineitem}</result>")
+
+
+@settings(max_examples=40, deadline=None)
+@given(collections)
+def test_query20_equals_query21(collection):
+    database = build_db(collection)
+    for use_indexes in (True, False):
+        left = database.xquery(Q20, use_indexes=use_indexes)
+        right = database.xquery(Q21, use_indexes=use_indexes)
+        assert left.serialize() == right.serialize()
+
+
+@settings(max_examples=40, deadline=None)
+@given(collections)
+def test_for_vs_let_cardinalities(collection):
+    database = build_db(collection)
+    q17 = database.xquery(
+        "for $doc in db2-fn:xmlcolumn('T.D') "
+        "for $item in $doc//lineitem[@price > 100] "
+        "return <result>{$item}</result>")
+    q18 = database.xquery(
+        "for $doc in db2-fn:xmlcolumn('T.D') "
+        "let $item := $doc//lineitem[@price > 100] "
+        "return <result>{$item}</result>")
+    qualifying = sum(
+        1 for item_prices in collection for price in item_prices
+        if isinstance(price, int) and price > 100)
+    assert len(q17) == qualifying
+    assert len(q18) == len(collection)
+
+
+@settings(max_examples=40, deadline=None)
+@given(collections)
+def test_constructor_vs_bindout_cardinalities(collection):
+    database = build_db(collection)
+    q19 = database.xquery(
+        "for $ord in db2-fn:xmlcolumn('T.D')/order "
+        "return <result>{$ord/lineitem[@price > 100]}</result>")
+    q22 = database.xquery(
+        "for $ord in db2-fn:xmlcolumn('T.D')/order "
+        "return $ord/lineitem[@price > 100]")
+    assert len(q19) == len(collection)
+    qualifying = sum(
+        1 for item_prices in collection for price in item_prices
+        if isinstance(price, int) and price > 100)
+    assert len(q22) == qualifying
+
+
+@settings(max_examples=40, deadline=None)
+@given(collections)
+def test_predicate_position_equivalence_in_for(collection):
+    """For for-clauses, §3.4: "it does not matter whether the predicate
+    is embedded in the path expression ... or is in the where-clause"."""
+    database = build_db(collection)
+    in_path = database.xquery(
+        "for $i in db2-fn:xmlcolumn('T.D')//lineitem[@price > 100] "
+        "return $i")
+    in_where = database.xquery(
+        "for $i in db2-fn:xmlcolumn('T.D')//lineitem "
+        "where $i/@price > 100 return $i")
+    assert in_path.serialize() == in_where.serialize()
+    assert in_path.stats.indexes_used == ["idx"]
+    assert in_where.stats.indexes_used == ["idx"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(collections)
+def test_query9_shape_boolean_vs_filter(collection):
+    """The standalone analogue of Query 8 vs Query 9: EBV of a boolean
+    body is not 'exists', and the filter form never returns more."""
+    database = build_db(collection)
+    filter_form = database.xquery(
+        "for $d in db2-fn:xmlcolumn('T.D') "
+        "where $d//lineitem[@price > 100] return $d",
+        use_indexes=False)
+    boolean_form = database.xquery(
+        "for $d in db2-fn:xmlcolumn('T.D') "
+        "where $d//lineitem/@price > 100 return $d",
+        use_indexes=False)
+    # For *where* clauses the two agree (EBV of the comparison); the
+    # divergence the paper warns about is XMLEXISTS's non-empty test.
+    assert filter_form.serialize() == boolean_form.serialize()

@@ -1,0 +1,69 @@
+"""Property-based tests: XML serialize/parse round-trips."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.xdm.nodes import (AttributeNode, CommentNode, DocumentNode,
+                             ElementNode, TextNode)
+from repro.xdm.qname import QName
+from repro.xmlio import parse_document, serialize
+
+names = st.sampled_from(["a", "b", "order", "lineitem", "price", "x1"])
+# Text without '\r' (XML line-end normalization folds CR) — content is
+# otherwise arbitrary and must round-trip through escaping.
+texts = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=0x2FF),
+    min_size=1, max_size=20)
+
+
+@st.composite
+def elements(draw, depth: int = 0):
+    name = draw(names)
+    attribute_names = draw(st.lists(names, unique=True, max_size=3))
+    attributes = [AttributeNode(QName("", attribute_name), draw(texts))
+                  for attribute_name in attribute_names]
+    children = []
+    if depth < 3:
+        for kind in draw(st.lists(
+                st.sampled_from(["text", "element", "comment"]),
+                max_size=4)):
+            if kind == "text":
+                children.append(TextNode(draw(texts)))
+            elif kind == "comment":
+                comment = draw(texts).replace("--", "xx").rstrip("-")
+                children.append(CommentNode(comment))
+            else:
+                children.append(draw(elements(depth=depth + 1)))
+    merged = []
+    for child in children:  # adjacent text merges on reparse: pre-merge
+        if merged and child.kind == "text" and merged[-1].kind == "text":
+            merged[-1] = TextNode(merged[-1].content + child.content)
+        else:
+            merged.append(child)
+    return ElementNode(QName("", name), attributes=attributes,
+                       children=merged)
+
+
+@given(elements())
+def test_serialize_parse_roundtrip(root):
+    document = DocumentNode([root])
+    text = serialize(document)
+    reparsed = parse_document(text)
+    assert serialize(reparsed) == text
+    assert _shape(reparsed.root_element) == _shape(root)
+
+
+def _shape(node):
+    if node.kind == "element":
+        return ("element", node.name.local,
+                sorted((attribute.name.local, attribute.string_value())
+                       for attribute in node.attributes),
+                [_shape(child) for child in node.children])
+    return (node.kind, node.string_value())
+
+
+@given(elements())
+def test_string_value_preserved(root):
+    document = DocumentNode([root])
+    reparsed = parse_document(serialize(document))
+    assert reparsed.string_value() == document.string_value()

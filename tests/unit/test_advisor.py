@@ -1,0 +1,71 @@
+"""Unit tests for advisor internals and catalog introspection."""
+
+import pytest
+
+from repro.core.advisor import TIPS, Advice, advise, advise_index_pattern
+
+
+class TestAdviceStructure:
+    def test_all_twelve_tips_present(self):
+        assert set(TIPS) == set(range(1, 13))
+
+    def test_str_rendering(self):
+        advice = Advice(3, "3.2", "warning", "msg", "fix")
+        assert "Tip 3" in str(advice)
+        advice = Advice(None, "3.10", "info", "msg", "fix")
+        assert "§3.10" in str(advice)
+
+
+class TestIndexPatternAdvice:
+    def test_star_pattern_warns(self):
+        assert any(item.tip == 12
+                   for item in advise_index_pattern("//*"))
+
+    def test_node_pattern_warns(self):
+        assert any(item.tip == 12
+                   for item in advise_index_pattern("//node()"))
+
+    def test_named_element_pattern_ns_info(self):
+        advice = advise_index_pattern("//lineitem/@price")
+        assert any(item.tip == 10 for item in advice)
+        assert all(item.severity == "info" for item in advice)
+
+    def test_attribute_pattern_clean(self):
+        assert advise_index_pattern("//@*") == []
+
+    def test_wildcard_namespace_pattern_clean(self):
+        advice = advise_index_pattern("//*:nation")
+        assert all(item.tip != 10 for item in advice)
+
+    def test_declared_namespace_pattern_clean(self):
+        advice = advise_index_pattern(
+            'declare default element namespace "http://x"; //nation')
+        assert all(item.tip != 10 for item in advice)
+
+
+class TestAdviseDeduplication:
+    def test_repeated_pitfall_reported_once(self, indexed_db):
+        query = ("for $d in db2-fn:xmlcolumn('ORDERS.ORDDOC') "
+                 "let $a := $d//lineitem[@price > 100] "
+                 "let $b := $d//lineitem[@price > 200] "
+                 "return <r>{$a, $b}</r>")
+        advice = advise(indexed_db, query)
+        let_warnings = [item for item in advice
+                        if item.section == "3.4" and item.tip is None]
+        assert let_warnings  # both let predicates are flagged
+        # Exact duplicates (same message) are deduplicated.
+        messages = [item.message for item in let_warnings]
+        assert len(messages) == len(set(messages))
+
+
+class TestDescribe:
+    def test_catalog_summary(self, indexed_db):
+        text = indexed_db.describe()
+        assert "table orders" in text
+        assert "li_price" in text
+        assert "XMLPATTERN" in text
+        assert "VARCHAR(13)" in text
+
+    def test_describe_mentions_skipped_nodes(self, indexed_db):
+        # The '20 USD' price is skipped by the tolerant DOUBLE index.
+        assert "1 skipped" in indexed_db.describe()

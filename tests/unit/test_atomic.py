@@ -1,0 +1,177 @@
+"""Unit tests for the atomic value system and casting lattice."""
+
+import datetime as dt
+import math
+from decimal import Decimal
+
+import pytest
+
+from repro.errors import CastError
+from repro.xdm import atomic
+from repro.xdm.atomic import (cast, castable, promote_numeric_pair,
+                              parse_date, parse_date_time, parse_double)
+
+
+class TestConstruction:
+    def test_string_value_of_string(self):
+        assert atomic.string("abc").string_value() == "abc"
+
+    def test_string_value_of_double_integral(self):
+        assert atomic.double(100.0).string_value() == "100"
+
+    def test_string_value_of_double_fractional(self):
+        assert atomic.double(99.5).string_value() == "99.5"
+
+    def test_string_value_of_double_nan_inf(self):
+        assert atomic.double(math.nan).string_value() == "NaN"
+        assert atomic.double(math.inf).string_value() == "INF"
+        assert atomic.double(-math.inf).string_value() == "-INF"
+
+    def test_string_value_of_decimal_strips_zeroes(self):
+        assert atomic.decimal("1.500").string_value() == "1.5"
+        assert atomic.decimal("10").string_value() == "10"
+
+    def test_string_value_of_boolean(self):
+        assert atomic.boolean(True).string_value() == "true"
+        assert atomic.boolean(False).string_value() == "false"
+
+    def test_string_value_of_date(self):
+        assert atomic.date(dt.date(2006, 9, 12)).string_value() == \
+            "2006-09-12"
+
+    def test_immutability(self):
+        value = atomic.integer(1)
+        with pytest.raises(AttributeError):
+            value.value = 2
+
+    def test_equality_requires_same_type(self):
+        assert atomic.integer(1) != atomic.double(1.0)
+        assert atomic.integer(1) == atomic.integer(1)
+
+
+class TestLexicalParsing:
+    def test_parse_double_plain(self):
+        assert parse_double("100") == 100.0
+        assert parse_double(" 99.50 ") == 99.5
+        assert parse_double("1e3") == 1000.0
+
+    def test_parse_double_special(self):
+        assert math.isnan(parse_double("NaN"))
+        assert parse_double("INF") == math.inf
+        assert parse_double("-INF") == -math.inf
+
+    def test_parse_double_rejects_garbage(self):
+        with pytest.raises(CastError):
+            parse_double("20 USD")
+        with pytest.raises(CastError):
+            parse_double("")
+
+    def test_parse_date(self):
+        assert parse_date("2006-09-12") == dt.date(2006, 9, 12)
+
+    def test_parse_date_rejects_bad_month(self):
+        with pytest.raises(CastError):
+            parse_date("2006-13-01")
+
+    def test_parse_date_time_with_zone(self):
+        stamp = parse_date_time("2006-09-12T10:30:00Z")
+        assert stamp.tzinfo is not None
+        assert stamp.hour == 10
+
+    def test_parse_date_time_fraction(self):
+        stamp = parse_date_time("2006-09-12T10:30:00.25")
+        assert stamp.microsecond == 250_000
+
+
+class TestCasting:
+    def test_untyped_to_double(self):
+        assert cast(atomic.untyped("99.50"), atomic.T_DOUBLE).value == 99.5
+
+    def test_untyped_to_double_failure(self):
+        with pytest.raises(CastError):
+            cast(atomic.untyped("20 USD"), atomic.T_DOUBLE)
+
+    def test_everything_casts_to_string(self):
+        assert cast(atomic.double(10.0), atomic.T_STRING).value == "10"
+        assert cast(atomic.boolean(True), atomic.T_STRING).value == "true"
+
+    def test_string_to_integer_strict(self):
+        assert cast(atomic.string("42"), atomic.T_INTEGER).value == 42
+        with pytest.raises(CastError):
+            cast(atomic.string("4.2"), atomic.T_INTEGER)
+
+    def test_double_to_integer_truncates(self):
+        assert cast(atomic.double(3.9), atomic.T_INTEGER).value == 3
+
+    def test_double_nan_to_integer_fails(self):
+        with pytest.raises(CastError):
+            cast(atomic.double(math.nan), atomic.T_INTEGER)
+
+    def test_long_range_enforced(self):
+        with pytest.raises(CastError):
+            cast(atomic.string(str(2 ** 63)), atomic.T_LONG)
+        assert cast(atomic.string(str(2 ** 63 - 1)),
+                    atomic.T_LONG).value == 2 ** 63 - 1
+
+    def test_boolean_lexical_forms(self):
+        assert cast(atomic.string("1"), atomic.T_BOOLEAN).value is True
+        assert cast(atomic.string("false"), atomic.T_BOOLEAN).value is False
+        with pytest.raises(CastError):
+            cast(atomic.string("yes"), atomic.T_BOOLEAN)
+
+    def test_numeric_to_boolean(self):
+        assert cast(atomic.double(0.0), atomic.T_BOOLEAN).value is False
+        assert cast(atomic.integer(7), atomic.T_BOOLEAN).value is True
+        assert cast(atomic.double(math.nan), atomic.T_BOOLEAN).value is False
+
+    def test_date_datetime_promotions(self):
+        date = atomic.date(dt.date(2006, 9, 12))
+        stamp = cast(date, atomic.T_DATETIME)
+        assert stamp.value == dt.datetime(2006, 9, 12)
+        assert cast(stamp, atomic.T_DATE).value == dt.date(2006, 9, 12)
+
+    def test_castable(self):
+        assert castable(atomic.untyped("1.5"), atomic.T_DOUBLE)
+        assert not castable(atomic.untyped("x"), atomic.T_DOUBLE)
+
+    def test_decimal_to_double(self):
+        value = cast(atomic.decimal("1.25"), atomic.T_DOUBLE)
+        assert value.type_name == atomic.T_DOUBLE
+        assert value.value == 1.25
+
+
+class TestPromotion:
+    def test_integer_pair_stays_exact(self):
+        left, right = promote_numeric_pair(atomic.integer(1),
+                                           atomic.integer(2))
+        assert left.type_name == atomic.T_INTEGER
+
+    def test_long_pair_stays_exact(self):
+        big = 2 ** 60 + 1
+        left, right = promote_numeric_pair(atomic.long_integer(big),
+                                           atomic.long_integer(big + 1))
+        assert left.value != right.value  # no precision loss
+
+    def test_long_vs_double_loses_precision(self):
+        # The §3.6 item-2 hazard: converting large longs to double
+        # collides values that differ as integers.
+        big = 2 ** 60 + 1
+        left, right = promote_numeric_pair(atomic.long_integer(big),
+                                           atomic.double(float(2 ** 60)))
+        assert left.type_name == atomic.T_DOUBLE
+        assert left.value == right.value  # collision!
+
+    def test_decimal_vs_integer(self):
+        left, right = promote_numeric_pair(atomic.decimal("1.5"),
+                                           atomic.integer(1))
+        assert left.type_name == atomic.T_DECIMAL
+        assert right.value == Decimal(1)
+
+    def test_non_numeric_raises(self):
+        with pytest.raises(Exception):
+            promote_numeric_pair(atomic.string("a"), atomic.integer(1))
+
+    def test_is_subtype(self):
+        assert atomic.is_subtype(atomic.T_LONG, atomic.T_INTEGER)
+        assert atomic.is_subtype(atomic.T_INTEGER, atomic.T_DECIMAL)
+        assert not atomic.is_subtype(atomic.T_DECIMAL, atomic.T_INTEGER)

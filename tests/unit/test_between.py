@@ -1,0 +1,67 @@
+"""Unit tests for between detection (§3.10)."""
+
+from repro.core.between import detect_between
+from repro.core.predicates import extract_candidates
+from repro.xquery.parser import parse_xquery
+
+XMLCOL = "db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+
+
+def groups(query: str):
+    return detect_between(extract_candidates(parse_xquery(query)))
+
+
+class TestDetection:
+    def test_attribute_pair_single_scan(self):
+        found = groups(f"{XMLCOL}//lineitem[@price>100 and @price<200]")
+        assert len(found) == 1
+        assert found[0].single_scan
+
+    def test_element_general_pair_two_scans(self):
+        found = groups(f"{XMLCOL}//lineitem[price > 100 and price < 200]")
+        assert len(found) == 1
+        assert not found[0].single_scan
+
+    def test_value_comparison_single_scan(self):
+        found = groups(f"{XMLCOL}//lineitem[price gt 100 and "
+                       f"price lt 200]")
+        assert len(found) == 1
+        assert found[0].single_scan
+
+    def test_self_axis_single_scan(self):
+        found = groups(f"{XMLCOL}//lineitem/price"
+                       f"[. > 100 and . < 200]")
+        assert len(found) == 1
+        assert found[0].single_scan
+
+    def test_data_step_single_scan(self):
+        found = groups(f"{XMLCOL}//lineitem[price/data()"
+                       f"[. > 100 and . < 200]]")
+        assert len(found) == 1
+        assert found[0].single_scan
+
+    def test_different_paths_not_paired(self):
+        found = groups(f"{XMLCOL}//lineitem[@price > 100 and "
+                       f"@quantity < 5]")
+        assert found == []
+
+    def test_unrelated_conjunctions_not_paired(self):
+        found = groups(
+            f"for $a in {XMLCOL}//lineitem[@price > 100] "
+            f"for $b in {XMLCOL}//lineitem[@price < 200] return ($a,$b)")
+        assert found == []
+
+    def test_same_direction_not_paired(self):
+        found = groups(f"{XMLCOL}//lineitem[@price > 100 and "
+                       f"@price > 200]")
+        assert found == []
+
+    def test_inclusive_operators_pair(self):
+        found = groups(f"{XMLCOL}//lineitem[@price >= 100 and "
+                       f"@price <= 200]")
+        assert len(found) == 1
+        assert found[0].single_scan
+
+    def test_description_mentions_mode(self):
+        found = groups(f"{XMLCOL}//lineitem[@price>100 and @price<200]")
+        assert "single range scan" in found[0].description

@@ -1,0 +1,143 @@
+"""Unit tests for the B+Tree."""
+
+import random
+
+import pytest
+
+from repro.storage.btree import BPlusTree
+
+
+class TestBasics:
+    def test_insert_get(self):
+        tree = BPlusTree(order=4)
+        tree.insert(5, "a")
+        tree.insert(3, "b")
+        tree.insert(7, "c")
+        assert tree.get(5) == ["a"]
+        assert tree.get(4) == []
+        assert len(tree) == 3
+        assert tree.key_count == 3
+
+    def test_duplicate_keys_bucket(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert sorted(tree.get(1)) == ["a", "b"]
+        assert len(tree) == 2
+        assert tree.key_count == 1
+
+    def test_order_too_small(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_keys_sorted_after_random_inserts(self):
+        tree = BPlusTree(order=4)
+        values = random.Random(1).sample(range(1000), 300)
+        for value in values:
+            tree.insert(value, value)
+        assert list(tree.keys()) == sorted(values)
+        tree.check_invariants()
+
+
+class TestRangeScan:
+    def make_tree(self) -> BPlusTree:
+        tree = BPlusTree(order=4)
+        for value in range(0, 100, 2):  # evens 0..98
+            tree.insert(value, f"v{value}")
+        return tree
+
+    def test_closed_range(self):
+        tree = self.make_tree()
+        keys = [key for key, _entry in tree.scan(10, 20)]
+        assert keys == [10, 12, 14, 16, 18, 20]
+
+    def test_open_bounds(self):
+        tree = self.make_tree()
+        keys = [key for key, _entry in
+                tree.scan(10, 20, low_inclusive=False,
+                          high_inclusive=False)]
+        assert keys == [12, 14, 16, 18]
+
+    def test_unbounded_low(self):
+        tree = self.make_tree()
+        keys = [key for key, _entry in tree.scan(None, 6)]
+        assert keys == [0, 2, 4, 6]
+
+    def test_unbounded_high(self):
+        tree = self.make_tree()
+        keys = [key for key, _entry in tree.scan(94, None)]
+        assert keys == [94, 96, 98]
+
+    def test_full_scan(self):
+        tree = self.make_tree()
+        assert len(list(tree.scan())) == 50
+
+    def test_missing_bound_keys(self):
+        tree = self.make_tree()
+        keys = [key for key, _entry in tree.scan(11, 19)]
+        assert keys == [12, 14, 16, 18]
+
+    def test_empty_range(self):
+        tree = self.make_tree()
+        assert list(tree.scan(200, 300)) == []
+
+    def test_string_keys(self):
+        tree = BPlusTree(order=4)
+        for word in ["pear", "apple", "fig", "date", "cherry"]:
+            tree.insert(word, word)
+        keys = [key for key, _entry in tree.scan("b", "e")]
+        assert keys == ["cherry", "date"]
+
+
+class TestDelete:
+    def test_delete_entry(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.delete(1, "a")
+        assert tree.get(1) == ["b"]
+        assert not tree.delete(1, "a")
+
+    def test_delete_whole_key(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.delete(1)
+        assert tree.get(1) == []
+        assert len(tree) == 0
+
+    def test_delete_missing(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        assert not tree.delete(2)
+
+    def test_delete_rebalances(self):
+        tree = BPlusTree(order=4)
+        values = list(range(200))
+        for value in values:
+            tree.insert(value, value)
+        random.Random(7).shuffle(values)
+        for count, value in enumerate(values):
+            assert tree.delete(value, value)
+            if count % 25 == 0:
+                tree.check_invariants()
+        assert len(tree) == 0
+        tree.check_invariants()
+
+    def test_interleaved_insert_delete(self):
+        tree = BPlusTree(order=4)
+        rng = random.Random(13)
+        model: dict[int, int] = {}
+        for _ in range(2000):
+            key = rng.randint(0, 80)
+            if rng.random() < 0.6:
+                tree.insert(key, key)
+                model[key] = model.get(key, 0) + 1
+            elif model.get(key):
+                tree.delete(key, key)
+                model[key] -= 1
+                if not model[key]:
+                    del model[key]
+        tree.check_invariants()
+        assert sorted(model) == list(tree.keys())
+        assert len(tree) == sum(model.values())

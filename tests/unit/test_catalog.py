@@ -1,0 +1,135 @@
+"""Unit tests for the Database catalog: DDL, DML, index maintenance."""
+
+import pytest
+
+from repro import Database
+from repro.errors import CatalogError, SQLError
+
+
+class TestDDL:
+    def test_create_table_api(self, db):
+        table = db.create_table("t", [("a", "INTEGER"), ("d", "XML")])
+        assert table.column_type("a").name == "INTEGER"
+        assert table.xml_columns() == ["d"]
+
+    def test_create_table_ddl(self, db):
+        db.execute("CREATE TABLE customer (cid INTEGER, cdoc XML)")
+        assert "customer" in db.tables
+
+    def test_create_table_with_typed_columns_ddl(self, db):
+        db.execute("CREATE TABLE products "
+                   "(id VARCHAR(13), name VARCHAR(32))")
+        assert db.table("products").column_type("id").length == 13
+
+    def test_duplicate_table_rejected(self, db):
+        db.create_table("t", [("a", "INTEGER")])
+        with pytest.raises(CatalogError):
+            db.create_table("T", [("a", "INTEGER")])
+
+    def test_create_xml_index_ddl_paper_syntax(self, db):
+        db.create_table("orders", [("orddoc", "XML")])
+        index = db.execute(
+            "CREATE INDEX li_price ON orders(orddoc) "
+            "USING XMLPATTERN '//lineitem/@price' AS DOUBLE")
+        assert index.index_type == "DOUBLE"
+        assert "li_price" in db.xml_indexes
+
+    def test_create_xml_index_with_namespaces(self, db):
+        db.create_table("customer", [("cdoc", "XML")])
+        db.execute(
+            "CREATE INDEX c_nation_ns1 ON customer(cdoc) "
+            "USING XMLPATTERN 'declare default element namespace "
+            "\"http://ournamespaces.com/order\"; //nation' AS double")
+        assert "c_nation_ns1" in db.xml_indexes
+
+    def test_xml_index_on_relational_column_rejected(self, db):
+        db.create_table("t", [("a", "INTEGER")])
+        with pytest.raises(CatalogError):
+            db.create_xml_index("i", "t", "a", "//x", "DOUBLE")
+
+    def test_relational_index_on_xml_column_rejected(self, db):
+        db.create_table("t", [("d", "XML")])
+        with pytest.raises(CatalogError):
+            db.create_relational_index("i", "t", "d")
+
+    def test_drop_index(self, db):
+        db.create_table("t", [("d", "XML")])
+        db.create_xml_index("i", "t", "d", "//x", "DOUBLE")
+        db.drop_index("i")
+        assert "i" not in db.xml_indexes
+        with pytest.raises(CatalogError):
+            db.drop_index("i")
+
+    def test_drop_table_drops_indexes(self, db):
+        db.create_table("t", [("a", "INTEGER"), ("d", "XML")])
+        db.create_xml_index("xi", "t", "d", "//x", "DOUBLE")
+        db.create_relational_index("ri", "t", "a")
+        db.drop_table("t")
+        assert not db.xml_indexes and not db.rel_indexes
+
+    def test_unknown_statement(self, db):
+        with pytest.raises(SQLError):
+            db.execute("GRANT ALL TO nobody")
+
+
+class TestDML:
+    def test_insert_parses_xml(self, db):
+        db.create_table("t", [("d", "XML")])
+        db.insert("t", {"d": "<a><b>1</b></a>"})
+        docs = db.documents("t", "d")
+        assert len(docs) == 1
+        assert docs[0].document.root_element.name.local == "a"
+
+    def test_index_built_on_existing_and_new_rows(self, db):
+        db.create_table("t", [("d", "XML")])
+        db.insert("t", {"d": "<a x='1'/>"})
+        index = db.create_xml_index("i", "t", "d", "//@x", "DOUBLE")
+        assert len(index) == 1
+        db.insert("t", {"d": "<a x='2'/>"})
+        assert len(index) == 2
+
+    def test_delete_maintains_indexes(self, db):
+        db.create_table("t", [("n", "INTEGER"), ("d", "XML")])
+        db.create_xml_index("xi", "t", "d", "//@x", "DOUBLE")
+        db.create_relational_index("ri", "t", "n")
+        db.insert("t", {"n": 1, "d": "<a x='1'/>"})
+        db.insert("t", {"n": 2, "d": "<a x='2'/>"})
+        removed = db.delete_rows("t", lambda values: values["n"] == 1)
+        assert removed == 1
+        assert len(db.xml_indexes["xi"]) == 1
+        assert len(db.rel_indexes["ri"]) == 1
+        assert len(db.table("t")) == 1
+
+    def test_failed_index_insert_rolls_back_row(self, db):
+        from repro.schema import Schema
+        db.create_table("t", [("d", "XML")])
+        db.create_xml_index("i", "t", "d", "//nums", "DOUBLE")
+        db.register_schema(
+            Schema("lists").declare("nums", "xs:double", is_list=True))
+        with pytest.raises(Exception):
+            db.insert("t", {"d": "<a><nums>1 2</nums></a>"},
+                      schema="lists")
+        assert len(db.table("t")) == 0
+        assert len(db.xml_indexes["i"]) == 0
+
+    def test_xmlcolumn_reference(self, db):
+        db.create_table("t", [("d", "XML")])
+        db.insert("t", {"d": "<a/>"})
+        docs = db.xmlcolumn("T.D")
+        assert len(docs) == 1
+        with pytest.raises(CatalogError):
+            db.xmlcolumn("JUSTONENAME")
+
+    def test_stats_counted_on_xmlcolumn(self, db):
+        from repro.planner.stats import ExecutionStats
+        db.create_table("t", [("d", "XML")])
+        db.insert("t", {"d": "<a/>"})
+        stats = ExecutionStats()
+        db.xmlcolumn("t.d", stats=stats)
+        assert stats.docs_scanned == 1
+
+    def test_null_xml_column(self, db):
+        db.create_table("t", [("n", "INTEGER"), ("d", "XML")])
+        db.insert("t", {"n": 1})
+        assert db.documents("t", "d") == []
+        assert db.xmlcolumn("t.d") == []

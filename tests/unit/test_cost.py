@@ -1,0 +1,122 @@
+"""Unit tests for the cost model (selectivity-based probe pruning)."""
+
+import pytest
+
+from repro import Database
+from repro.planner.cost import CostModel, KeyHistogram
+from repro.storage.btree import BPlusTree
+
+
+class TestHistogram:
+    def make_tree(self, count: int = 1000) -> BPlusTree:
+        tree = BPlusTree(order=16)
+        for value in range(count):
+            tree.insert(float(value), value)
+        return tree
+
+    def test_full_range(self):
+        histogram = KeyHistogram(self.make_tree())
+        assert histogram.range_fraction(None, None) == pytest.approx(
+            1.0, abs=0.05)
+
+    def test_half_range(self):
+        histogram = KeyHistogram(self.make_tree())
+        assert histogram.range_fraction(500.0, None) == pytest.approx(
+            0.5, abs=0.1)
+
+    def test_narrow_range(self):
+        histogram = KeyHistogram(self.make_tree())
+        assert histogram.range_fraction(990.0, None) <= 0.1
+
+    def test_empty_tree(self):
+        histogram = KeyHistogram(BPlusTree(order=16))
+        assert histogram.range_fraction(None, None) == 0.0
+
+    def test_refresh_after_growth(self):
+        tree = BPlusTree(order=16)
+        for value in range(100):
+            tree.insert(float(value), value)
+        histogram = KeyHistogram(tree)
+        assert histogram.range_fraction(50.0, None) == pytest.approx(
+            0.5, abs=0.15)
+        # Grow the high end substantially; estimate must adapt.
+        for value in range(100, 400):
+            tree.insert(float(value), value)
+        assert histogram.range_fraction(200.0, None) == pytest.approx(
+            0.5, abs=0.15)
+
+    def test_incomparable_bounds_conservative(self):
+        histogram = KeyHistogram(self.make_tree())
+        assert histogram.range_fraction("a-string", None) == 1.0
+
+
+@pytest.fixture()
+def priced_db() -> Database:
+    database = Database()
+    database.create_table("orders", [("orddoc", "XML")])
+    for value in range(100):
+        database.insert("orders", {
+            "orddoc": f"<order><lineitem price='{value}'/></order>"})
+    database.create_xml_index("li_price", "orders", "orddoc",
+                              "//lineitem/@price", "DOUBLE")
+    return database
+
+
+class TestCostBasedPlanning:
+    def test_selective_probe_kept(self, priced_db):
+        query = ("db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+                 "//lineitem[@price > 95]")
+        result = priced_db.xquery(query, cost_based=True)
+        assert result.stats.indexes_used == ["li_price"]
+        assert result.stats.docs_scanned < 10
+
+    def test_unselective_probe_skipped(self, priced_db):
+        query = ("db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+                 "//lineitem[@price >= 0]")
+        result = priced_db.xquery(query, cost_based=True)
+        assert result.stats.indexes_used == []
+        assert any("cost model skips" in note
+                   for note in result.stats.plan_notes)
+        baseline = priced_db.xquery(query, use_indexes=False)
+        assert result.serialize() == baseline.serialize()
+
+    def test_rule_based_default_always_probes(self, priced_db):
+        query = ("db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+                 "//lineitem[@price >= 0]")
+        result = priced_db.xquery(query)   # rule-based default
+        assert result.stats.indexes_used == ["li_price"]
+
+    def test_threshold_configurable(self, priced_db):
+        query = ("db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+                 "//lineitem[@price > 40]")
+        strict = priced_db.xquery(query, cost_based=True,
+                                  prefilter_threshold=0.1)
+        assert strict.stats.indexes_used == []
+        lax = priced_db.xquery(query, cost_based=True,
+                               prefilter_threshold=0.99)
+        assert lax.stats.indexes_used == ["li_price"]
+
+    def test_estimate_probe_accounting(self, priced_db):
+        model = CostModel(prefilter_threshold=0.5)
+        index = priced_db.xml_indexes["li_price"]
+        estimate = model.estimate_probe(index, 90.0, None, 100)
+        assert estimate.worthwhile
+        assert estimate.docs_fraction < 0.3
+        estimate = model.estimate_probe(index, None, None, 100)
+        assert not estimate.worthwhile
+
+    def test_distinct_doc_count_maintained(self, priced_db):
+        index = priced_db.xml_indexes["li_price"]
+        assert index.distinct_doc_count() == 100
+        removed = priced_db.delete_rows(
+            "orders", lambda values:
+            "price='5'" in _doc_text(values["orddoc"]))
+        assert removed == 1
+        assert index.distinct_doc_count() == 99
+        priced_db.delete_rows("orders")
+        assert index.distinct_doc_count() == 0
+
+
+def _doc_text(stored) -> str:
+    from repro.xmlio import serialize
+    return serialize(stored.document).replace('"', "'")

@@ -1,0 +1,72 @@
+"""Unit tests for the error taxonomy."""
+
+import pytest
+
+from repro.errors import (CastError, CatalogError, PatternSyntaxError,
+                          ReproError, SchemaValidationError, SQLCastError,
+                          SQLError, SQLSyntaxError, XMLParseError,
+                          XQueryDynamicError, XQueryError,
+                          XQueryStaticError, XQueryTypeError)
+
+
+class TestHierarchy:
+    def test_everything_is_repro_error(self):
+        for exception_type in (XMLParseError, SchemaValidationError,
+                               XQueryError, XQueryStaticError,
+                               XQueryTypeError, XQueryDynamicError,
+                               CastError, SQLError, SQLSyntaxError,
+                               SQLCastError, CatalogError,
+                               PatternSyntaxError):
+            assert issubclass(exception_type, ReproError)
+
+    def test_cast_error_is_type_error(self):
+        assert issubclass(CastError, XQueryTypeError)
+        assert issubclass(SQLCastError, SQLError)
+
+    def test_xquery_codes_in_message(self):
+        assert "[err:XPTY0004]" in str(XQueryTypeError("boom"))
+        assert "[err:FORG0001]" in str(CastError("boom"))
+        custom = XQueryDynamicError("boom", code="XPDY0050")
+        assert "[err:XPDY0050]" in str(custom)
+        assert custom.code == "XPDY0050"
+
+    def test_sqlstates(self):
+        assert SQLSyntaxError("x").sqlstate == "42601"
+        assert SQLCastError("x").sqlstate == "22001"
+        assert SQLError("x", "42818").sqlstate == "42818"
+        assert "[SQLSTATE 42818]" in str(SQLError("x", "42818"))
+
+    def test_xml_parse_error_location(self):
+        error = XMLParseError("bad", line=3, column=7)
+        assert error.line == 3 and error.column == 7
+        assert "line 3" in str(error)
+        bare = XMLParseError("bad")
+        assert "line" not in str(bare)
+
+
+class TestErrorSurfacing:
+    """Errors raised through the public API keep their types."""
+
+    def test_xquery_static_error(self):
+        from repro import Database
+        with pytest.raises(XQueryStaticError):
+            Database().xquery("for $x in")
+
+    def test_sql_syntax_error(self):
+        from repro import Database
+        database = Database()
+        with pytest.raises(SQLSyntaxError):
+            database.sql("SELECT FROM WHERE")
+
+    def test_catalog_error(self):
+        from repro import Database
+        with pytest.raises(CatalogError):
+            Database().table("missing")
+
+    def test_pattern_error_through_ddl(self):
+        from repro import Database
+        database = Database()
+        database.create_table("t", [("d", "XML")])
+        with pytest.raises(PatternSyntaxError):
+            database.create_xml_index("i", "t", "d", "no-slash",
+                                      "DOUBLE")

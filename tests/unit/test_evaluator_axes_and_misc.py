@@ -1,0 +1,146 @@
+"""Additional evaluator coverage: sibling/ancestor axes, stable sort,
+multi-binding quantifiers, remaining function-library corners."""
+
+import pytest
+
+from repro.errors import XQueryTypeError
+from repro.xmlio import parse_document, serialize_sequence
+from repro.xquery.evaluator import evaluate as ev
+
+DOC = parse_document(
+    "<root><a id='1'/><b id='2'/><a id='3'><inner/></a><c id='4'/>"
+    "</root>")
+
+
+def run(query: str, **variables) -> str:
+    bound = {name: value if isinstance(value, list) else [value]
+             for name, value in variables.items()}
+    return serialize_sequence(ev(query, variables=bound))
+
+
+class TestExtendedAxes:
+    def test_following_sibling(self):
+        assert run("$d/root/b/following-sibling::*/@id/data(.)",
+                   d=DOC) == "3 4"
+
+    def test_preceding_sibling(self):
+        assert run("$d/root/c/preceding-sibling::a/@id/data(.)",
+                   d=DOC) == "1 3"
+
+    def test_preceding_sibling_positional(self):
+        # Reverse axis: position 1 is the nearest preceding sibling.
+        assert run("$d/root/c/preceding-sibling::*[1]/@id/data(.)",
+                   d=DOC) == "3"
+
+    def test_ancestor(self):
+        assert run("count($d//inner/ancestor::*)", d=DOC) == "2"
+
+    def test_ancestor_or_self(self):
+        assert run("count($d//inner/ancestor-or-self::*)", d=DOC) == "3"
+
+    def test_attribute_has_no_siblings(self):
+        assert run("count(($d//@id)[1]/following-sibling::*)",
+                   d=DOC) == "0"
+
+    def test_parent_of_attribute(self):
+        assert run("($d//@id)[3]/../local-name(.)", d=DOC) == "a"
+
+
+class TestOrderByStability:
+    def test_multi_key(self):
+        query = ("for $p in (<p a='2' b='1'/>, <p a='1' b='2'/>, "
+                 "<p a='1' b='1'/>) "
+                 "order by $p/@a, $p/@b descending "
+                 "return concat($p/@a, ':', $p/@b)")
+        assert run(query) == "1:2 1:1 2:1"
+
+    def test_stable_for_equal_keys(self):
+        query = ("for $x at $i in ('c', 'a', 'b') "
+                 "order by 1 return $x")
+        assert run(query) == "c a b"   # original order preserved
+
+
+class TestQuantifiers:
+    def test_multi_binding_some(self):
+        assert run("some $x in (1,2), $y in (10,20) "
+                   "satisfies $x + $y = 22") == "true"
+
+    def test_multi_binding_every(self):
+        assert run("every $x in (1,2), $y in (10,20) "
+                   "satisfies $x < $y") == "true"
+        assert run("every $x in (1,2), $y in (1,20) "
+                   "satisfies $x < $y") == "false"
+
+
+class TestFunctionCorners:
+    def test_matches_replace_tokenize(self):
+        assert run("matches('abc123', '[0-9]+')") == "true"
+        assert run("replace('a-b-c', '-', '+')") == "a+b+c"
+        assert run("tokenize('a,b,c', ',')") == "a b c"
+
+    def test_min_max_strings(self):
+        assert run("min(('pear', 'apple'))") == "apple"
+        assert run("max(('pear', 'apple'))") == "pear"
+
+    def test_min_max_untyped_are_numeric(self):
+        doc = parse_document("<a><v>10</v><v>9</v></a>")
+        assert run("max($d//v)", d=doc) == "10"  # numeric, not '9'
+
+    def test_sum_with_zero_default(self):
+        assert run("sum((), 'none')") == "none"
+
+    def test_avg_decimal(self):
+        assert run("avg((1.0, 2.0))") == "1.5"
+
+    def test_subsequence_unbounded(self):
+        assert run("subsequence((1,2,3,4), 3)") == "3 4"
+
+    def test_string_of_context_item(self):
+        doc = parse_document("<a>txt</a>")
+        assert run("$d/a/string()", d=doc) == "txt"
+
+    def test_concat_with_empty_args(self):
+        assert run("concat('a', (), 'b')") == "ab"
+
+    def test_castable_multi_item_false(self):
+        assert run("(1, 2) castable as xs:double") == "false"
+
+    def test_instance_of_empty(self):
+        assert run("() instance of xs:integer?") == "true"
+        assert run("() instance of xs:integer") == "false"
+
+    def test_number_of_node(self):
+        doc = parse_document("<a><v>7</v></a>")
+        assert run("number($d//v) + 1", d=doc) == "8"
+
+
+class TestArithmeticCorners:
+    def test_idiv_negative(self):
+        assert run("-7 idiv 2") == "-3"  # truncation toward zero
+
+    def test_mod_double(self):
+        assert run("7.5 mod 2") == "1.5"
+
+    def test_decimal_division_exact(self):
+        assert run("1 div 4") == "0.25"
+
+    def test_mixed_decimal_double(self):
+        result = ev("1.5 + 1e0")
+        assert result[0].type_name == "xs:double"
+
+    def test_unary_plus(self):
+        assert run("+5") == "5"
+        assert run("--5") == "5"
+
+
+class TestComputedDocument:
+    def test_document_constructor(self):
+        assert run("document { <a><b/></a> }/a/b instance of element()"
+                   ) == "true"
+
+    def test_document_constructor_enables_absolute_paths(self):
+        assert run("count(document { <a><b/></a> }//b)") == "1"
+
+    def test_attribute_in_document_rejected(self):
+        with pytest.raises(XQueryTypeError):
+            ev("document { attribute x {'1'} }")

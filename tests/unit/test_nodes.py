@@ -1,0 +1,161 @@
+"""Unit tests for the XDM node hierarchy."""
+
+import pytest
+
+from repro.xdm import atomic
+from repro.xdm.nodes import (AttributeNode, CommentNode, DocumentNode,
+                             ElementNode, ProcessingInstructionNode,
+                             TextNode, copy_node)
+from repro.xdm.qname import QName
+from repro.xdm.sequence import (atomize, document_order,
+                                effective_boolean_value)
+
+
+def build_order() -> DocumentNode:
+    price = AttributeNode(QName("", "price"), "99.50")
+    item = ElementNode(QName("", "lineitem"), attributes=[price],
+                       children=[TextNode("x"),
+                                 ElementNode(QName("", "sub")),
+                                 TextNode("y")])
+    root = ElementNode(QName("", "order"), children=[item])
+    return DocumentNode([root])
+
+
+class TestStructure:
+    def test_string_value_concatenates_descendant_text(self):
+        doc = build_order()
+        assert doc.string_value() == "xy"
+        assert doc.root_element.string_value() == "xy"
+
+    def test_attribute_string_value(self):
+        doc = build_order()
+        item = doc.root_element.children[0]
+        assert item.attributes[0].string_value() == "99.50"
+
+    def test_typed_value_untyped(self):
+        doc = build_order()
+        item = doc.root_element.children[0]
+        values = item.attributes[0].typed_value()
+        assert values[0].type_name == atomic.T_UNTYPED
+
+    def test_typed_value_after_annotation(self):
+        doc = build_order()
+        attribute = doc.root_element.children[0].attributes[0]
+        attribute.set_typed_value("xs:double", [atomic.double(99.5)])
+        assert attribute.typed_value()[0].value == 99.5
+
+    def test_path_steps(self):
+        doc = build_order()
+        attribute = doc.root_element.children[0].attributes[0]
+        steps = attribute.path_steps()
+        assert [kind for kind, _name in steps] == \
+            ["element", "element", "attribute"]
+        assert steps[-1][1].local == "price"
+
+    def test_attribute_cannot_be_child(self):
+        element = ElementNode(QName("", "a"))
+        with pytest.raises(Exception):
+            element.append_child(AttributeNode(QName("", "x"), "1"))
+
+    def test_attribute_lookup(self):
+        doc = build_order()
+        item = doc.root_element.children[0]
+        assert item.attribute("price") is not None
+        assert item.attribute("missing") is None
+
+    def test_comment_and_pi_values(self):
+        comment = CommentNode(" hello ")
+        pi = ProcessingInstructionNode("target", "data")
+        assert comment.string_value() == " hello "
+        assert pi.string_value() == "data"
+        assert pi.name.local == "target"
+
+
+class TestIdentityAndOrder:
+    def test_unique_identity(self):
+        first = ElementNode(QName("", "a"))
+        second = ElementNode(QName("", "a"))
+        assert first.node_id != second.node_id
+        assert first.is_same_node(first)
+
+    def test_document_order_within_tree(self):
+        doc = build_order()
+        nodes = list(doc.descendants_or_self())
+        keys = [node.document_order_key() for node in nodes]
+        assert keys == sorted(keys)
+
+    def test_attributes_order_between_element_and_children(self):
+        doc = build_order()
+        item = doc.root_element.children[0]
+        attribute = item.attributes[0]
+        first_child = item.children[0]
+        assert item.document_order_key() < attribute.document_order_key()
+        assert attribute.document_order_key() < \
+            first_child.document_order_key()
+
+    def test_order_invalidated_by_mutation(self):
+        doc = build_order()
+        root = doc.root_element
+        key_before = root.children[0].document_order_key()
+        root.append_child(ElementNode(QName("", "late")))
+        # Keys are recomputed and remain consistent.
+        assert root.children[0].document_order_key() == key_before
+        assert root.children[-1].document_order_key() > key_before
+
+    def test_document_order_helper_dedups(self):
+        doc = build_order()
+        item = doc.root_element.children[0]
+        result = document_order([item, doc.root_element, item])
+        assert len(result) == 2
+        assert result[0] is doc.root_element
+
+
+class TestCopy:
+    def test_copy_strips_annotations_by_default(self):
+        element = ElementNode(QName("", "id"))
+        element.set_typed_value("xs:double", [atomic.double(17.0)])
+        copied = copy_node(element)
+        assert copied.type_annotation == "xdt:untyped"
+
+    def test_copy_preserve_mode(self):
+        element = ElementNode(QName("", "id"))
+        element.set_typed_value("xs:double", [atomic.double(17.0)])
+        copied = copy_node(element, preserve_types=True)
+        assert copied.typed_value()[0].value == 17.0
+
+    def test_copy_is_deep_and_fresh(self):
+        doc = build_order()
+        copied = copy_node(doc.root_element)
+        original_ids = {node.node_id for node in
+                        doc.root_element.descendants_or_self()}
+        copied_ids = {node.node_id for node in
+                      copied.descendants_or_self()}
+        assert original_ids.isdisjoint(copied_ids)
+        assert copied.string_value() == "xy"
+
+    def test_copy_detaches_parent(self):
+        doc = build_order()
+        copied = copy_node(doc.root_element.children[0])
+        assert copied.parent is None
+
+
+class TestSequenceOps:
+    def test_atomize_nodes_and_atomics(self):
+        doc = build_order()
+        item = doc.root_element.children[0]
+        values = atomize([item, atomic.integer(5)])
+        assert values[0].value == "xy"
+        assert values[1].value == 5
+
+    def test_ebv_rules(self):
+        doc = build_order()
+        assert effective_boolean_value([doc]) is True
+        assert effective_boolean_value([]) is False
+        assert effective_boolean_value([atomic.boolean(False)]) is False
+        assert effective_boolean_value([atomic.string("")]) is False
+        assert effective_boolean_value([atomic.string("x")]) is True
+        assert effective_boolean_value([atomic.double(0.0)]) is False
+
+    def test_ebv_multi_atomic_raises(self):
+        with pytest.raises(Exception):
+            effective_boolean_value([atomic.integer(1), atomic.integer(2)])

@@ -1,0 +1,145 @@
+"""Unit tests for planner internals: probes, prefilters, stats."""
+
+import pytest
+
+from repro import Database
+from repro.core.predicates import extract_candidates
+from repro.planner.plan import (PrefilteredDatabase, _bounds_for,
+                                plan_prefilters)
+from repro.planner.stats import ExecutionStats
+from repro.xquery.parser import parse_xquery
+
+
+@pytest.fixture()
+def small_db() -> Database:
+    database = Database()
+    database.create_table("t", [("d", "XML")])
+    for value in [10, 50, 150, 250]:
+        database.insert("t", {
+            "d": f"<a><b price='{value}'/></a>"})
+    database.create_xml_index("idx", "t", "d", "//b/@price", "DOUBLE")
+    return database
+
+
+def candidates_for(query: str):
+    return extract_candidates(parse_xquery(query))
+
+
+class TestBounds:
+    @pytest.mark.parametrize("op,low,high,low_inc,high_inc", [
+        ("=", 100.0, 100.0, True, True),
+        (">", 100.0, None, False, True),
+        (">=", 100.0, None, True, True),
+        ("<", None, 100.0, True, False),
+        ("<=", None, 100.0, True, True),
+        ("gt", 100.0, None, False, True),
+    ])
+    def test_range_translation(self, small_db, op, low, high, low_inc,
+                               high_inc):
+        query = f"db2-fn:xmlcolumn('T.D')//b[@price {op} 100]"
+        candidate = candidates_for(query)[0]
+        index = small_db.xml_indexes["idx"]
+        probe = _bounds_for(candidate, index)
+        assert probe is not None
+        assert probe.low == low and probe.high == high
+        assert probe.low_inclusive == low_inc
+        assert probe.high_inclusive == high_inc
+
+    def test_ne_not_translated(self, small_db):
+        query = "db2-fn:xmlcolumn('T.D')//b[@price != 100]"
+        candidate = candidates_for(query)[0]
+        assert _bounds_for(candidate, small_db.xml_indexes["idx"]) is None
+
+    def test_exists_full_range(self, small_db):
+        query = ("for $x in db2-fn:xmlcolumn('T.D')/a "
+                 "where $x/b/@price return $x")
+        candidate = candidates_for(query)[0]
+        small_db.create_xml_index("idx_str", "t", "d", "//b/@price",
+                                  "VARCHAR")
+        probe = _bounds_for(candidate, small_db.xml_indexes["idx_str"])
+        assert probe is not None
+        assert probe.low is None and probe.high is None
+
+    def test_incompatible_literal_skipped(self, small_db):
+        # A DATE literal cannot become a DOUBLE key.
+        query = ("db2-fn:xmlcolumn('T.D')"
+                 "//b[@price/xs:date(.) > xs:date('2006-01-01')]")
+        candidate = candidates_for(query)[0]
+        assert _bounds_for(candidate, small_db.xml_indexes["idx"]) is None
+
+
+class TestPlanPrefilters:
+    def test_conjuncts_intersect(self, small_db):
+        query = ("db2-fn:xmlcolumn('T.D')"
+                 "//a[b/@price > 40][b/@price < 200]")
+        stats = ExecutionStats()
+        prefilters = plan_prefilters(small_db, candidates_for(query),
+                                     stats)
+        docs = prefilters["t.d"].run(stats)
+        assert len(docs) == 2  # 50 and 150
+
+    def test_disjunction_union(self, small_db):
+        query = ("for $x in db2-fn:xmlcolumn('T.D')/a where "
+                 "$x/b/@price < 20 or $x/b/@price > 200 return $x")
+        stats = ExecutionStats()
+        prefilters = plan_prefilters(small_db, candidates_for(query),
+                                     stats)
+        docs = prefilters["t.d"].run(stats)
+        assert len(docs) == 2  # 10 and 250
+
+    def test_partial_disjunction_not_planned(self, small_db):
+        # One branch unindexable (text() path) -> whole OR unusable.
+        query = ("for $x in db2-fn:xmlcolumn('T.D')/a where "
+                 "$x/b/@price < 20 or $x/b/text() = 'x' return $x")
+        stats = ExecutionStats()
+        prefilters = plan_prefilters(small_db, candidates_for(query),
+                                     stats)
+        assert "t.d" not in prefilters
+
+    def test_no_candidates_no_prefilters(self, small_db):
+        stats = ExecutionStats()
+        assert plan_prefilters(small_db, [], stats) == {}
+
+
+class TestPrefilteredDatabase:
+    def test_filters_column(self, small_db):
+        docs = small_db.documents("t", "d")
+        keep = {docs[0].doc_id}
+        view = PrefilteredDatabase(small_db, {"t.d": keep})
+        assert len(view.xmlcolumn("T.D")) == 1
+        # Other attributes delegate to the base database.
+        assert view.table("t") is small_db.table("t")
+
+    def test_other_columns_unfiltered(self, small_db):
+        small_db.create_table("u", [("d", "XML")])
+        small_db.insert("u", {"d": "<x/>"})
+        view = PrefilteredDatabase(small_db, {"t.d": set()})
+        assert len(view.xmlcolumn("U.D")) == 1
+        assert view.xmlcolumn("T.D") == []
+
+    def test_stats_count_filtered_docs(self, small_db):
+        docs = small_db.documents("t", "d")
+        keep = {doc.doc_id for doc in docs[:2]}
+        view = PrefilteredDatabase(small_db, {"t.d": keep})
+        stats = ExecutionStats()
+        view.xmlcolumn("t.d", stats=stats)
+        assert stats.docs_scanned == 2
+
+
+class TestStats:
+    def test_explain_mentions_counters(self):
+        stats = ExecutionStats()
+        stats.docs_scanned = 3
+        stats.record_index_use("idx")
+        stats.note("hello")
+        text = stats.explain()
+        assert "docs_scanned=3" in text
+        assert "hello" in text
+        assert "idx" in text
+
+    def test_index_use_dedup_but_scan_count(self):
+        stats = ExecutionStats()
+        stats.record_index_use("idx")
+        stats.record_index_use("idx")
+        assert stats.indexes_used == ["idx"]
+        assert stats.index_scans == 2

@@ -1,0 +1,109 @@
+"""Unit tests for schema-lite validation (§2.1 / §3.1 scenarios)."""
+
+import pytest
+
+from repro.errors import SchemaValidationError
+from repro.schema import Schema, TypeDeclaration, validate
+from repro.xdm import atomic
+from repro.xmlio import parse_document
+
+
+class TestDeclarations:
+    def test_suffix_matching(self):
+        declaration = TypeDeclaration("lineitem/@price", "xs:double")
+        assert declaration.matches(("order", "lineitem", "@price"))
+        assert not declaration.matches(("order", "product", "@price"))
+        assert not declaration.matches(("@price",))
+
+    def test_most_specific_wins(self):
+        schema = (Schema("s")
+                  .declare("id", "xs:string")
+                  .declare("product/id", "xs:double"))
+        chosen = schema.lookup(("order", "product", "id"))
+        assert chosen.type_name == "xs:double"
+
+    def test_attribute_must_be_last(self):
+        with pytest.raises(SchemaValidationError):
+            TypeDeclaration("@x/y", "xs:string")
+
+
+class TestValidation:
+    def test_annotates_elements_and_attributes(self):
+        doc = parse_document(
+            "<order><custid>1001</custid>"
+            "<lineitem price='99.50'/></order>")
+        schema = (Schema("s")
+                  .declare("custid", "xs:double")
+                  .declare("lineitem/@price", "xs:double"))
+        validate(doc, schema)
+        custid = doc.root_element.children[0]
+        assert custid.typed_value()[0].type_name == atomic.T_DOUBLE
+        price = doc.root_element.children[1].attributes[0]
+        assert price.typed_value()[0].value == 99.5
+
+    def test_strict_rejects_nonconforming(self):
+        # The §2.1 postal-code story: a numeric schema rejects "K1A 0B1".
+        doc = parse_document(
+            "<customer><address><postalcode>K1A 0B1</postalcode>"
+            "</address></customer>")
+        schema = Schema("v1").declare("address/postalcode", "xs:double")
+        with pytest.raises(SchemaValidationError):
+            validate(doc, schema)
+
+    def test_lenient_leaves_untyped(self):
+        doc = parse_document("<a><n>not a number</n></a>")
+        schema = Schema("s", strict=False).declare("n", "xs:double")
+        validate(doc, schema)
+        node = doc.root_element.children[0]
+        assert node.typed_value()[0].type_name == atomic.T_UNTYPED
+
+    def test_list_types(self):
+        doc = parse_document("<a><nums>1 2 3</nums></a>")
+        schema = Schema("s").declare("nums", "xs:double", is_list=True)
+        validate(doc, schema)
+        values = doc.root_element.children[0].typed_value()
+        assert [value.value for value in values] == [1.0, 2.0, 3.0]
+
+    def test_xsi_type_override(self):
+        doc = parse_document(
+            '<a xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance">'
+            '<v xsi:type="xs:double">42</v></a>')
+        schema = Schema("s").declare("v", "xs:string")
+        validate(doc, schema)
+        node = doc.root_element.children[0]
+        assert node.typed_value()[0].type_name == atomic.T_DOUBLE
+
+    def test_elements_with_children_not_simple_typed(self):
+        doc = parse_document("<a><v><inner>1</inner></v></a>")
+        schema = Schema("s").declare("v", "xs:double")
+        validate(doc, schema)  # should not raise: v is complex
+        node = doc.root_element.children[0]
+        assert node.type_annotation == "xdt:untyped"
+
+    def test_unknown_type_rejected(self):
+        doc = parse_document("<a><v>1</v></a>")
+        schema = Schema("s").declare("v", "xs:imaginary")
+        with pytest.raises(SchemaValidationError):
+            validate(doc, schema)
+
+    def test_per_document_schemas_coexist(self):
+        """Two documents in one 'column', different schema versions."""
+        from repro import Database
+        from repro.workload import intl_customer_schema, us_customer_schema
+
+        db = Database()
+        db.create_table("customer", [("cdoc", "XML")])
+        db.register_schema(us_customer_schema())
+        db.register_schema(intl_customer_schema())
+        us = ("<customer><id>1</id><name>A</name><nation>1</nation>"
+              "<address><postalcode>95141</postalcode></address>"
+              "</customer>")
+        ca = ("<customer><id>2</id><name>B</name><nation>2</nation>"
+              "<address><postalcode>K1A 0B1</postalcode></address>"
+              "</customer>")
+        db.insert("customer", {"cdoc": us}, schema="customer-v1")
+        db.insert("customer", {"cdoc": ca}, schema="customer-v2")
+        # The v1 schema would reject the Canadian document.
+        with pytest.raises(SchemaValidationError):
+            db.insert("customer", {"cdoc": ca}, schema="customer-v1")
+        assert len(db.documents("customer", "cdoc")) == 2

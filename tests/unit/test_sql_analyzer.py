@@ -1,0 +1,101 @@
+"""Unit tests for the SQL statement analyzer (context classification)."""
+
+import pytest
+
+from repro.core.predicates import PredicateContext
+from repro.sql.analyzer import (body_is_boolean, collect_embedded,
+                                extract_sql_candidates, split_conjuncts)
+from repro.sql.parser import parse_statement
+from repro.xquery.parser import parse_xquery
+
+
+class TestBooleanBodyDetection:
+    @pytest.mark.parametrize("body,expected", [
+        ("$o//a/@p > 100", True),                  # comparison
+        ("$o//a[@p > 100]", False),                # path with filter
+        ("not($o//a)", True),                      # boolean function
+        ("exists($o//a)", True),
+        ("$o//a/@p > 1 and $o//b", True),          # and-expr
+        ("some $x in $o//a satisfies $x > 1", True),
+        ("$o//a", False),
+        ("count($o//a)", False),                   # numeric, not boolean
+    ])
+    def test_detection(self, body, expected):
+        assert body_is_boolean(parse_xquery(body)) is expected
+
+
+class TestContextClassification:
+    def classify(self, paper_db, statement: str) -> dict[str, str]:
+        embedded = collect_embedded(paper_db,
+                                    parse_statement(statement))
+        return {entry.text: entry.sql_context.value for entry in embedded}
+
+    def test_select_list(self, paper_db):
+        contexts = self.classify(
+            paper_db,
+            "SELECT XMLQUERY('$o//a' PASSING orddoc AS \"o\") "
+            "FROM orders")
+        assert list(contexts.values()) == [
+            PredicateContext.SQL_SELECT_LIST.value]
+
+    def test_where_xmlexists(self, paper_db):
+        contexts = self.classify(
+            paper_db,
+            "SELECT ordid FROM orders WHERE XMLEXISTS("
+            "'$o//a[@p > 1]' PASSING orddoc AS \"o\")")
+        assert PredicateContext.SQL_WHERE_XMLEXISTS.value in \
+            contexts.values()
+
+    def test_boolean_xmlexists(self, paper_db):
+        contexts = self.classify(
+            paper_db,
+            "SELECT ordid FROM orders WHERE XMLEXISTS("
+            "'$o//a/@p > 1' PASSING orddoc AS \"o\")")
+        assert PredicateContext.SQL_BOOLEAN_XMLEXISTS.value in \
+            contexts.values()
+
+    def test_xmltable_row_and_columns(self, paper_db):
+        contexts = self.classify(
+            paper_db,
+            "SELECT t.x FROM orders o, XMLTABLE('$d//lineitem' "
+            "PASSING o.orddoc AS \"d\" COLUMNS x DOUBLE "
+            "PATH '@price[. > 1]') AS t")
+        values = set(contexts.values())
+        assert PredicateContext.SQL_XMLTABLE_ROW.value in values
+        assert PredicateContext.SQL_XMLTABLE_COLUMN.value in values
+
+    def test_passing_variable_types(self, paper_db):
+        statement = parse_statement(
+            "SELECT p.name FROM products p, orders o WHERE XMLEXISTS("
+            "'$d//id[. eq $pid]' PASSING o.orddoc AS \"d\", "
+            "p.id AS \"pid\")")
+        embedded = collect_embedded(paper_db, statement)[0]
+        from repro.core.predicates import Origin, SQLTypedValue
+        assert isinstance(embedded.scope["d"], Origin)
+        assert embedded.scope["d"].column == "orders.orddoc"
+        assert isinstance(embedded.scope["pid"], SQLTypedValue)
+        assert embedded.scope["pid"].sql_type == "VARCHAR"
+        assert embedded.alias_of_var == {"d": "o", "pid": "p"}
+
+    def test_sql_comparison_flagged(self, paper_db):
+        candidates = extract_sql_candidates(
+            paper_db,
+            "SELECT ordid FROM orders o WHERE 'x' = XMLCAST(XMLQUERY("
+            "'$d/order/custid' PASSING o.orddoc AS \"d\") "
+            "AS VARCHAR(10))")
+        flagged = [candidate for candidate in candidates
+                   if candidate.uses_sql_comparison]
+        assert flagged
+        assert str(flagged[0].path) == "/order/custid"
+
+
+class TestConjunctSplitting:
+    def test_split(self):
+        statement = parse_statement(
+            "SELECT a FROM t WHERE a = 1 AND b = 2 AND c = 3")
+        assert len(split_conjuncts(statement.where)) == 3
+
+    def test_or_not_split(self):
+        statement = parse_statement(
+            "SELECT a FROM t WHERE a = 1 OR b = 2")
+        assert len(split_conjuncts(statement.where)) == 1

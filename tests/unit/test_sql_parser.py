@@ -1,0 +1,139 @@
+"""Unit tests for the SQL/XML parser."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql import ast
+from repro.sql.parser import parse_statement
+
+
+class TestSelect:
+    def test_basic_select(self):
+        statement = parse_statement(
+            "SELECT ordid, orddoc FROM orders WHERE ordid = 1")
+        assert len(statement.items) == 2
+        assert statement.from_refs[0].name == "orders"
+        assert isinstance(statement.where, ast.Comparison)
+
+    def test_aliases(self):
+        statement = parse_statement(
+            "SELECT o.ordid FROM orders o, customer AS c")
+        assert statement.from_refs[0].alias == "o"
+        assert statement.from_refs[1].alias == "c"
+        assert statement.items[0].expr.qualifier == "o"
+
+    def test_select_item_alias(self):
+        statement = parse_statement("SELECT ordid AS x FROM orders")
+        assert statement.items[0].alias == "x"
+
+    def test_condition_tree(self):
+        statement = parse_statement(
+            "SELECT a FROM t WHERE a = 1 AND (b = 2 OR NOT c = 3)")
+        assert isinstance(statement.where, ast.AndCond)
+        assert isinstance(statement.where.right, ast.OrCond)
+        assert isinstance(statement.where.right.right, ast.NotCond)
+
+    def test_and_or_precedence(self):
+        statement = parse_statement(
+            "SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(statement.where, ast.OrCond)
+        assert isinstance(statement.where.right, ast.AndCond)
+
+    def test_is_null(self):
+        statement = parse_statement(
+            "SELECT a FROM t WHERE a IS NOT NULL")
+        assert isinstance(statement.where, ast.IsNullCond)
+        assert statement.where.negated
+
+    def test_order_by(self):
+        statement = parse_statement(
+            "SELECT a FROM t ORDER BY a DESC, b")
+        assert statement.order_by[0][1] is True
+        assert statement.order_by[1][1] is False
+
+    def test_values(self):
+        statement = parse_statement("VALUES (1, 'two')")
+        assert isinstance(statement, ast.ValuesStmt)
+        assert statement.exprs[1].value == "two"
+
+    def test_trailing_comma_in_from_tolerated(self):
+        # Queries 15/16 in the paper have a trailing comma.
+        statement = parse_statement(
+            "SELECT a FROM orders o, customer c, WHERE a = 1")
+        assert len(statement.from_refs) == 2
+
+    def test_string_escape(self):
+        statement = parse_statement("VALUES ('it''s')")
+        assert statement.exprs[0].value == "it's"
+
+    def test_negative_number(self):
+        statement = parse_statement("VALUES (-5)")
+        assert statement.exprs[0].value == -5
+
+
+class TestXMLFunctions:
+    def test_xmlquery_passing(self):
+        statement = parse_statement(
+            "SELECT XMLQuery('$o//a' passing orddoc as \"o\") FROM orders")
+        expr = statement.items[0].expr
+        assert isinstance(expr, ast.XMLQueryExpr)
+        assert expr.passing[0].variable == "o"
+
+    def test_xmlexists(self):
+        statement = parse_statement(
+            "SELECT a FROM t WHERE XMLEXISTS('$d//x' PASSING doc AS \"d\")")
+        assert isinstance(statement.where, ast.XMLExistsExpr)
+
+    def test_xmlcast(self):
+        statement = parse_statement(
+            "SELECT XMLCAST(XMLQUERY('$d/a' passing doc as \"d\") "
+            "AS VARCHAR(13)) FROM t")
+        cast_expr = statement.items[0].expr
+        assert isinstance(cast_expr, ast.XMLCastExpr)
+        assert cast_expr.target.length == 13
+
+    def test_xmltable_full(self):
+        statement = parse_statement(
+            "SELECT o.ordid, t.lineitem FROM orders o, "
+            "XMLTable('$order//lineitem' passing o.orddoc as \"order\" "
+            "COLUMNS \"lineitem\" XML BY REF PATH '.', "
+            "\"price\" DECIMAL(6,3) PATH '@price', "
+            "seq FOR ORDINALITY) as t(lineitem, price, seq)")
+        xmltable = statement.from_refs[1]
+        assert isinstance(xmltable, ast.XMLTableRef)
+        assert xmltable.alias == "t"
+        assert xmltable.columns[0].by_ref
+        assert xmltable.columns[1].sql_type.scale == 3
+        assert xmltable.columns[2].for_ordinality
+        assert xmltable.column_aliases == ["lineitem", "price", "seq"]
+
+    def test_xmlelement(self):
+        statement = parse_statement(
+            "SELECT XMLELEMENT(NAME result, XMLATTRIBUTES(a AS x), b) "
+            "FROM t")
+        element = statement.items[0].expr
+        assert isinstance(element, ast.XMLElementExpr)
+        assert element.attributes[0][0] == "x"
+        assert len(element.content) == 1
+
+    def test_xmlforest_and_concat(self):
+        statement = parse_statement(
+            "SELECT XMLCONCAT(XMLFOREST(a, b AS bee), c) FROM t")
+        concat = statement.items[0].expr
+        assert isinstance(concat, ast.XMLConcatExpr)
+        forest = concat.items[0]
+        assert [name for name, _expr in forest.items] == ["a", "bee"]
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "SELECT FROM t",
+        "SELECT a",
+        "UPDATE t SET a = 1",
+        "SELECT a FROM t WHERE",
+        "SELECT XMLCAST(a AS BLOB) FROM t",
+        "SELECT a FROM t trailing garbage $$",
+    ])
+    def test_rejects(self, bad):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement(bad)

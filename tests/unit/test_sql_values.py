@@ -1,0 +1,83 @@
+"""Unit tests for SQL value semantics (§3.3 boundary behaviour)."""
+
+import datetime as dt
+from decimal import Decimal
+
+import pytest
+
+from repro.errors import SQLError
+from repro.sql.values import (SQLType, XMLValue, coerce_to_type,
+                              normalize_key, sql_compare)
+
+
+class TestTypes:
+    def test_parse(self):
+        assert SQLType.parse("INTEGER").name == "INTEGER"
+        assert SQLType.parse("varchar(13)").length == 13
+        assert SQLType.parse("DECIMAL(6, 3)").scale == 3
+        assert SQLType.parse("int").name == "INTEGER"
+
+    def test_parse_rejects(self):
+        with pytest.raises(SQLError):
+            SQLType.parse("BLOB")
+
+    def test_predicates(self):
+        assert SQLType.parse("XML").is_xml
+        assert SQLType.parse("CHAR(3)").is_string
+        assert SQLType.parse("DECIMAL").is_numeric
+
+    def test_str_roundtrip(self):
+        assert str(SQLType.parse("DECIMAL(6,3)")) == "DECIMAL(6,3)"
+
+
+class TestCoercion:
+    def test_varchar_length_enforced(self):
+        with pytest.raises(SQLError):
+            coerce_to_type("x" * 14, SQLType.parse("VARCHAR(13)"))
+        assert coerce_to_type("x" * 13,
+                              SQLType.parse("VARCHAR(13)")) == "x" * 13
+
+    def test_decimal_scale(self):
+        value = coerce_to_type("1.2345", SQLType.parse("DECIMAL(6,3)"))
+        assert value == Decimal("1.234") or value == Decimal("1.235")
+
+    def test_dates(self):
+        assert coerce_to_type("2006-09-12", SQLType.parse("DATE")) == \
+            dt.date(2006, 9, 12)
+
+    def test_null_passthrough(self):
+        assert coerce_to_type(None, SQLType.parse("INTEGER")) is None
+
+
+class TestComparison:
+    def test_trailing_blanks_ignored(self):
+        # §3.3/§3.6: SQL string comparison pads; XQuery's does not.
+        assert sql_compare("=", "abc  ", "abc") is True
+        assert sql_compare("=", "abc", "abc   ") is True
+        assert sql_compare("=", " abc", "abc") is False
+
+    def test_null_is_unknown(self):
+        assert sql_compare("=", None, 1) is None
+        assert sql_compare("<>", None, None) is None
+
+    def test_numeric(self):
+        assert sql_compare("<", 1, 2) is True
+        assert sql_compare(">=", Decimal("2.0"), 2) is True
+
+    def test_ops(self):
+        assert sql_compare("<>", 1, 2) is True
+        assert sql_compare("<=", 2, 2) is True
+        assert sql_compare(">", 3, 2) is True
+
+    def test_cross_type_rejected(self):
+        with pytest.raises(SQLError):
+            sql_compare("=", "1", 1)
+
+    def test_xml_operand_rejected(self):
+        with pytest.raises(SQLError):
+            sql_compare("=", XMLValue([]), 1)
+
+    def test_normalize_key(self):
+        assert normalize_key("a  ") == "a"
+        assert normalize_key(True) == 1
+        assert normalize_key(5) == 5

@@ -1,0 +1,99 @@
+"""Unit tests for typeswitch — dynamic-type dispatch for
+schema-flexible data (the paper's §1 motivation)."""
+
+import pytest
+
+from repro.errors import XQueryStaticError
+from repro.xmlio import parse_document, serialize_sequence
+from repro.xquery.evaluator import evaluate as ev
+
+
+def run(query: str, **variables) -> str:
+    bound = {name: value if isinstance(value, list) else [value]
+             for name, value in variables.items()}
+    return serialize_sequence(ev(query, variables=bound))
+
+
+class TestTypeswitch:
+    def test_dispatch_on_atomic_type(self):
+        query = ("typeswitch ({}) "
+                 "case xs:integer return 'int' "
+                 "case xs:string return 'str' "
+                 "default return 'other'")
+        assert run(query.format("1")) == "int"
+        assert run(query.format("'x'")) == "str"
+        assert run(query.format("1.5")) == "other"
+
+    def test_dispatch_on_node_kind(self):
+        query = ("typeswitch ($x) "
+                 "case element() return 'element' "
+                 "case attribute() return 'attribute' "
+                 "case text() return 'text' "
+                 "default return 'other'")
+        doc = parse_document("<a b='1'>t</a>")
+        root = doc.root_element
+        assert run(query, x=root) == "element"
+        assert run(query, x=root.attributes[0]) == "attribute"
+        assert run(query, x=root.children[0]) == "text"
+        assert run(query, x=doc) == "other"
+
+    def test_case_variable_binding(self):
+        query = ("typeswitch (5) "
+                 "case $n as xs:integer return $n * 2 "
+                 "default return 0")
+        assert run(query) == "10"
+
+    def test_default_variable_binding(self):
+        query = ("typeswitch ('x') "
+                 "case xs:integer return 0 "
+                 "default $v return concat($v, '!')")
+        assert run(query) == "x!"
+
+    def test_occurrence_indicators(self):
+        query = ("typeswitch ($x) "
+                 "case xs:integer+ return 'some ints' "
+                 "case xs:integer* return 'maybe ints' "
+                 "default return 'other'")
+        from repro.xdm import atomic
+        assert run(query, x=[atomic.integer(1), atomic.integer(2)]) == \
+            "some ints"
+        assert run(query, x=[]) == "maybe ints"
+
+    def test_first_matching_case_wins(self):
+        query = ("typeswitch (1) "
+                 "case item() return 'first' "
+                 "case xs:integer return 'second' "
+                 "default return 'none'")
+        assert run(query) == "first"
+
+    def test_untyped_attribute_dispatch(self):
+        doc = parse_document("<a p='99.5'/>")
+        query = ("typeswitch (data($x/@p)) "
+                 "case xdt:untypedAtomic return 'untyped' "
+                 "default return 'typed'")
+        assert run(query, x=doc.root_element) == "untyped"
+
+    def test_requires_case_clause(self):
+        with pytest.raises(XQueryStaticError):
+            ev("typeswitch (1) default return 0")
+
+    def test_nested_in_flwor(self):
+        query = ("for $x in (1, 'a', 2.5) return typeswitch ($x) "
+                 "case xs:integer return 'i' "
+                 "case xs:string return 's' "
+                 "default return 'd'")
+        assert run(query) == "i s d"
+
+    def test_schema_evolution_dispatch(self):
+        """The practical §2.1 use: branch on postal-code type."""
+        from repro.schema import Schema, validate
+        numeric = parse_document("<c><pc>95141</pc></c>")
+        validate(numeric, Schema("v1").declare("pc", "xs:double"))
+        stringy = parse_document("<c><pc>K1A 0B1</pc></c>")
+        validate(stringy, Schema("v2").declare("pc", "xs:string"))
+        query = ("typeswitch (data($d/c/pc)) "
+                 "case xs:double return 'zip' "
+                 "case xs:string return 'postal' "
+                 "default return '?'")
+        assert run(query, d=numeric) == "zip"
+        assert run(query, d=stringy) == "postal"

@@ -1,0 +1,99 @@
+"""Unit tests for user-defined XQuery functions (declare function)."""
+
+import pytest
+
+from repro.errors import (XQueryDynamicError, XQueryStaticError,
+                          XQueryTypeError)
+from repro.xmlio import parse_document, serialize_sequence
+from repro.xquery.evaluator import evaluate as ev
+
+
+def run(query: str, **variables) -> str:
+    bound = {name: value if isinstance(value, list) else [value]
+             for name, value in variables.items()}
+    return serialize_sequence(ev(query, variables=bound))
+
+
+class TestDeclaredFunctions:
+    def test_simple_function(self):
+        assert run("declare function local:double($x) { $x * 2 }; "
+                   "local:double(21)") == "42"
+
+    def test_typed_parameters(self):
+        assert run("declare function local:inc($x as xs:integer) "
+                   "as xs:integer { $x + 1 }; local:inc(1)") == "2"
+
+    def test_parameter_type_enforced(self):
+        with pytest.raises(XQueryTypeError):
+            ev("declare function local:inc($x as xs:integer) "
+               "{ $x + 1 }; local:inc('one')")
+
+    def test_return_type_enforced(self):
+        with pytest.raises(XQueryTypeError):
+            ev("declare function local:bad($x) as xs:string { $x }; "
+               "local:bad(1)")
+
+    def test_multiple_parameters(self):
+        assert run("declare function local:area($w, $h) { $w * $h }; "
+                   "local:area(6, 7)") == "42"
+
+    def test_arity_overloading(self):
+        assert run(
+            "declare function local:pad($s) { local:pad($s, '!') }; "
+            "declare function local:pad($s, $end) "
+            "{ concat($s, $end) }; "
+            "local:pad('hi')") == "hi!"
+
+    def test_recursion(self):
+        assert run(
+            "declare function local:fact($n as xs:integer) "
+            "as xs:integer { if ($n le 1) then 1 "
+            "else $n * local:fact($n - 1) }; local:fact(6)") == "720"
+
+    def test_runaway_recursion_capped(self):
+        with pytest.raises(XQueryDynamicError):
+            ev("declare function local:loop($n) { local:loop($n) }; "
+               "local:loop(1)")
+
+    def test_body_does_not_see_outer_variables(self):
+        with pytest.raises(XQueryDynamicError):
+            ev("declare function local:leak() { $outer }; "
+               "for $outer in (1) return local:leak()")
+
+    def test_functions_over_nodes(self):
+        doc = parse_document(
+            "<order><lineitem price='150'/><lineitem price='90'/>"
+            "</order>")
+        query = ("declare function local:expensive($o) "
+                 "{ $o//lineitem[@price > 100] }; "
+                 "count(local:expensive($d))")
+        assert run(query, d=doc) == "1"
+
+    def test_unprefixed_declaration_rejected(self):
+        with pytest.raises(XQueryStaticError):
+            ev("declare function bare($x) { $x }; bare(1)")
+
+    def test_duplicate_declaration_rejected(self):
+        with pytest.raises(XQueryStaticError):
+            ev("declare function local:f($x) { $x }; "
+               "declare function local:f($y) { $y }; local:f(1)")
+
+    def test_builtin_still_reachable(self):
+        assert run("declare function local:f($x) { count($x) }; "
+                   "local:f((1, 2, 3))") == "3"
+
+    def test_function_with_constructor_body(self):
+        assert run("declare function local:wrap($x) "
+                   "{ <wrapped>{$x}</wrapped> }; "
+                   "local:wrap('v')") == "<wrapped>v</wrapped>"
+
+    def test_database_access_inside_function(self):
+        from repro import Database
+        db = Database()
+        db.create_table("t", [("d", "XML")])
+        db.insert("t", {"d": "<a><v>1</v></a>"})
+        db.insert("t", {"d": "<a><v>2</v></a>"})
+        result = db.xquery(
+            "declare function local:all() "
+            "{ db2-fn:xmlcolumn('T.D')//v }; sum(local:all())")
+        assert result.serialize() == ["3"]

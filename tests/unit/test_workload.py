@@ -1,0 +1,103 @@
+"""Unit tests for the workload generators."""
+
+from repro import Database
+from repro.workload import (OrderProfile, WorkloadGenerator,
+                            populate_paper_schema)
+from repro.xmlio import parse_document
+
+
+class TestDeterminism:
+    def test_same_seed_same_workload(self):
+        first = WorkloadGenerator(seed=7).workload(orders=20)
+        second = WorkloadGenerator(seed=7).workload(orders=20)
+        assert first.orders == second.orders
+        assert first.customers == second.customers
+        assert first.products == second.products
+
+    def test_different_seed_differs(self):
+        first = WorkloadGenerator(seed=7).workload(orders=20)
+        second = WorkloadGenerator(seed=8).workload(orders=20)
+        assert first.orders != second.orders
+
+
+class TestDocumentShapes:
+    def test_orders_are_well_formed(self):
+        generator = WorkloadGenerator(seed=1)
+        workload = generator.workload(orders=30)
+        for text in workload.orders:
+            document = parse_document(text)
+            root = document.root_element
+            assert root.name.local == "order"
+            assert any(child.name and child.name.local == "lineitem"
+                       for child in root.children)
+
+    def test_price_bounds_respected(self):
+        profile = OrderProfile(price_low=50, price_high=60)
+        generator = WorkloadGenerator(seed=2)
+        workload = generator.workload(orders=40, profile=profile)
+        for text in workload.orders:
+            document = parse_document(text)
+            for node in document.root_element.descendants_or_self():
+                attribute = (node.attribute("price")
+                             if node.kind == "element" else None)
+                if attribute is not None:
+                    assert 50 <= float(attribute.string_value()) <= 60
+
+    def test_string_price_fraction(self):
+        profile = OrderProfile(string_price_fraction=1.0,
+                               max_lineitems=1)
+        generator = WorkloadGenerator(seed=3)
+        workload = generator.workload(orders=10, profile=profile)
+        assert all("USD" in text for text in workload.orders)
+
+    def test_element_prices_with_mixed_content(self):
+        profile = OrderProfile(element_prices=True,
+                               mixed_text_fraction=1.0)
+        generator = WorkloadGenerator(seed=4)
+        text = generator.order_document(1, 1, ["P1"], profile)
+        assert "<currency>USD</currency>" in text
+        parse_document(text)
+
+    def test_namespaced_orders(self):
+        profile = OrderProfile(namespace="http://ournamespaces.com/order")
+        generator = WorkloadGenerator(seed=5)
+        text = generator.order_document(1, 1, ["P1"], profile)
+        document = parse_document(text)
+        assert document.root_element.name.uri == \
+            "http://ournamespaces.com/order"
+
+    def test_canadian_customers(self):
+        generator = WorkloadGenerator(seed=6)
+        canadian = generator.customer_document(1, canadian=True)
+        us = generator.customer_document(2, canadian=False)
+        assert "<nation>2</nation>" in canadian
+        assert "<nation>1</nation>" in us
+        document = parse_document(canadian)
+        postal = document.root_element.children[-1].children[-1]
+        assert not postal.string_value().isdigit()
+
+    def test_rss_feed_well_formed(self):
+        generator = WorkloadGenerator(seed=7)
+        document = parse_document(generator.rss_feed(1, item_count=10))
+        items = [node for node in
+                 document.root_element.descendants_or_self()
+                 if node.name and node.name.local == "item"]
+        assert len(items) == 10
+
+
+class TestPopulate:
+    def test_populate_counts_and_indexes(self):
+        database = Database()
+        populate_paper_schema(database, orders=25, customers=5,
+                              products=4)
+        assert len(database.table("orders")) == 25
+        assert len(database.table("customer")) == 5
+        assert len(database.table("products")) == 4
+        assert {"li_price", "o_custid", "c_custid"} <= \
+            set(database.xml_indexes)
+
+    def test_populate_without_indexes(self):
+        database = Database()
+        populate_paper_schema(database, orders=5, customers=2,
+                              products=2, with_indexes=False)
+        assert database.xml_indexes == {}

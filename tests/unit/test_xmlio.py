@@ -1,0 +1,133 @@
+"""Unit tests for the XML parser and serializer."""
+
+import pytest
+
+from repro.errors import XMLParseError
+from repro.xmlio import parse_document, parse_fragment, serialize
+
+
+class TestParserBasics:
+    def test_simple_document(self):
+        doc = parse_document("<a><b>text</b></a>")
+        root = doc.root_element
+        assert root.name.local == "a"
+        assert root.children[0].name.local == "b"
+        assert root.children[0].string_value() == "text"
+
+    def test_attributes(self):
+        doc = parse_document('<a x="1" y=\'two\'/>')
+        root = doc.root_element
+        assert root.attribute("x").string_value() == "1"
+        assert root.attribute("y").string_value() == "two"
+
+    def test_text_entities(self):
+        doc = parse_document("<a>&lt;&amp;&gt;&quot;&apos;&#65;&#x42;</a>")
+        assert doc.root_element.string_value() == "<&>\"'AB"
+
+    def test_cdata(self):
+        doc = parse_document("<a><![CDATA[<raw&>]]></a>")
+        assert doc.root_element.string_value() == "<raw&>"
+
+    def test_comments_and_pis(self):
+        doc = parse_document("<a><!--note--><?do it?></a>")
+        kinds = [child.kind for child in doc.root_element.children]
+        assert kinds == ["comment", "processing-instruction"]
+
+    def test_prolog_and_doctype_skipped(self):
+        doc = parse_document(
+            "<?xml version='1.0'?><!DOCTYPE a [<!ELEMENT a ANY>]><a/>")
+        assert doc.root_element.name.local == "a"
+
+    def test_top_level_comment_and_pi(self):
+        doc = parse_document("<!--before--><a/><?after?>")
+        assert [child.kind for child in doc.children] == \
+            ["comment", "element", "processing-instruction"]
+
+    def test_mixed_content_distinct_text_nodes(self):
+        # §3.8: "99.50USD" string value, separate text/element children.
+        doc = parse_document("<price>99.50<currency>USD</currency></price>")
+        price = doc.root_element
+        assert price.string_value() == "99.50USD"
+        assert price.children[0].kind == "text"
+        assert price.children[0].string_value() == "99.50"
+
+    def test_whitespace_preserved_in_text(self):
+        doc = parse_document("<a> x </a>")
+        assert doc.root_element.string_value() == " x "
+
+
+class TestNamespaces:
+    def test_default_namespace(self):
+        doc = parse_document('<a xmlns="http://n"><b/></a>')
+        assert doc.root_element.name.uri == "http://n"
+        assert doc.root_element.children[0].name.uri == "http://n"
+
+    def test_prefixed_namespace(self):
+        doc = parse_document('<p:a xmlns:p="http://p"><p:b/></p:a>')
+        assert doc.root_element.name.uri == "http://p"
+        assert doc.root_element.name.prefix == "p"
+
+    def test_attributes_ignore_default_namespace(self):
+        # §3.7: default namespaces never apply to attributes.
+        doc = parse_document('<a xmlns="http://n" x="1"/>')
+        assert doc.root_element.attributes[0].name.uri == ""
+
+    def test_namespace_shadowing(self):
+        doc = parse_document(
+            '<a xmlns="http://one"><b xmlns="http://two"/></a>')
+        assert doc.root_element.children[0].name.uri == "http://two"
+
+    def test_undeclared_prefix_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse_document("<p:a/>")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "<a>",                       # unterminated
+        "<a></b>",                   # mismatched tags
+        "<a x=1/>",                  # unquoted attribute
+        "<a x='1' x='2'/>",          # duplicate attribute
+        "<a/><b/>",                  # two roots
+        "text only",                 # no element
+        "<a><!--unterminated</a>",   # bad comment
+        "<a>&unknown;</a>",          # unknown entity
+        "",                          # empty input
+    ])
+    def test_rejects(self, bad):
+        with pytest.raises(XMLParseError):
+            parse_document(bad)
+
+    def test_error_carries_location(self):
+        try:
+            parse_document("<a>\n<b x=</a>")
+        except XMLParseError as error:
+            assert error.line == 2
+        else:
+            pytest.fail("expected XMLParseError")
+
+
+class TestSerializer:
+    @pytest.mark.parametrize("text", [
+        "<a/>",
+        "<a><b>t</b><c/></a>",
+        '<a x="1"/>',
+        "<a>x<b/>y</a>",
+        "<a><!--c--><?pi d?></a>",
+        '<a xmlns="http://n"><b/></a>',
+        '<p:a xmlns:p="http://p" p:x="1"/>',
+    ])
+    def test_roundtrip(self, text):
+        assert serialize(parse_document(text)) == text
+
+    def test_escaping(self):
+        doc = parse_document("<a x='&quot;&amp;'>&lt;&amp;</a>")
+        rendered = serialize(doc)
+        assert "&lt;" in rendered and "&amp;" in rendered
+        assert serialize(parse_document(rendered)) == rendered
+
+    def test_fragment_parsing(self):
+        nodes = parse_fragment("<a/>text<b/>")
+        assert [node.kind for node in nodes] == \
+            ["element", "text", "element"]
+        assert all(node.parent is None for node in nodes)

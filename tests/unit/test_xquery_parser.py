@@ -1,0 +1,226 @@
+"""Unit tests for the XQuery parser."""
+
+import pytest
+
+from repro.errors import XQueryStaticError
+from repro.xquery import ast
+from repro.xquery.parser import parse_xquery
+
+
+def body(source: str):
+    return parse_xquery(source).body
+
+
+class TestLiteralsAndPrimaries:
+    def test_numeric_literal_types(self):
+        # §3.1 hinges on this: 100 is numeric, "100" is a string.
+        assert body("100").value.type_name == "xs:integer"
+        assert body("99.50").value.type_name == "xs:decimal"
+        assert body("1e3").value.type_name == "xs:double"
+        assert body('"100"').value.type_name == "xs:string"
+
+    def test_string_escapes(self):
+        assert body("'it''s'").value.value == "it's"
+        assert body('"a&amp;b"').value.value == "a&b"
+
+    def test_variable(self):
+        assert body("$x").name == "x"
+
+    def test_parenthesized_empty(self):
+        assert body("()").items == []
+
+    def test_comments_ignored(self):
+        assert body("(: note (: nested :) :) 1").value.value == 1
+
+
+class TestPaths:
+    def test_relative_child_steps(self):
+        path = body("$d/order/lineitem")
+        assert isinstance(path, ast.PathExpr)
+        assert len(path.steps) == 3
+        assert path.steps[1].test.local == "order"
+
+    def test_descendant_shorthand(self):
+        path = body("$d//lineitem")
+        kinds = [step.test for step in path.steps[1:]]
+        assert isinstance(kinds[0], ast.KindTest)
+        assert path.steps[2].test.local == "lineitem"
+
+    def test_attribute_step(self):
+        path = body("$d/@price")
+        assert path.steps[1].axis == "attribute"
+
+    def test_explicit_axes(self):
+        path = body("$d/descendant-or-self::node()/attribute::*")
+        assert path.steps[1].axis == "descendant-or-self"
+        assert path.steps[2].axis == "attribute"
+
+    def test_wildcards(self):
+        module = parse_xquery(
+            'declare namespace ns="http://n"; $d/*:nation/ns:*/node()')
+        path = module.body
+        first = path.steps[1].test
+        assert first.uri is None and first.local == "nation"
+        second = path.steps[2].test
+        assert second.uri == "http://n" and second.local is None
+
+    def test_predicates(self):
+        path = body("$d/lineitem[@price > 100][2]")
+        assert len(path.steps[1].predicates) == 2
+
+    def test_leading_slash_absolute(self):
+        path = body("/order")
+        assert path.absolute == "/"
+
+    def test_double_slash_absolute(self):
+        path = body("//order")
+        assert path.absolute == "//"
+
+    def test_function_call_step(self):
+        path = body("$i/custid/xs:double(.)")
+        assert isinstance(path.steps[2], ast.ExprStep)
+
+    def test_parent_abbreviation(self):
+        path = body("$d/..")
+        assert path.steps[1].axis == "parent"
+
+    def test_kind_test_steps(self):
+        path = body("$d/text()")
+        assert path.steps[1].test.kind == "text"
+
+
+class TestExpressions:
+    def test_flwor_shape(self):
+        expr = body("for $i in (1,2) let $j := $i where $j > 1 "
+                    "order by $j descending return $j")
+        kinds = [type(clause).__name__ for clause in expr.clauses]
+        assert kinds == ["ForClause", "LetClause", "WhereClause",
+                         "OrderByClause"]
+        assert expr.clauses[3].specs[0].descending
+
+    def test_multi_variable_for(self):
+        expr = body("for $i in (1), $j in (2) return $i")
+        assert len(expr.clauses) == 2
+
+    def test_quantified(self):
+        expr = body("some $x in (1,2) satisfies $x eq 2")
+        assert expr.quantifier == "some"
+
+    def test_comparison_operator_classes(self):
+        assert isinstance(body("1 = 2"), ast.GeneralComparison)
+        assert isinstance(body("1 eq 2"), ast.ValueComparison)
+        assert isinstance(body("$a is $b"), ast.NodeComparison)
+        assert isinstance(body("$a << $b"), ast.NodeComparison)
+
+    def test_precedence_and_or(self):
+        expr = body("1 = 1 or 2 = 2 and 3 = 3")
+        assert isinstance(expr, ast.OrExpr)
+        assert isinstance(expr.right, ast.AndExpr)
+
+    def test_arithmetic_precedence(self):
+        expr = body("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_set_operators(self):
+        assert body("$a union $b").op == "union"
+        assert body("$a | $b").op == "union"
+        assert body("$a except $b").op == "except"
+        assert body("$a intersect $b").op == "intersect"
+
+    def test_cast_and_castable(self):
+        assert isinstance(body("'1' cast as xs:double"), ast.CastExpr)
+        assert isinstance(body("'1' castable as xs:double?"),
+                          ast.CastableExpr)
+
+    def test_treat_and_instance(self):
+        treat = body("$x treat as document-node()")
+        assert treat.sequence_type.item_type == "document-node"
+        inst = body("$x instance of xs:string*")
+        assert inst.sequence_type.occurrence == "*"
+
+    def test_if_expression(self):
+        assert isinstance(body("if (1) then 2 else 3"), ast.IfExpr)
+
+    def test_range(self):
+        assert isinstance(body("1 to 5"), ast.RangeExpr)
+
+
+class TestConstructors:
+    def test_direct_element(self):
+        ctor = body('<result a="1" b="{2+3}">text{$x}</result>')
+        assert ctor.name == "result"
+        assert len(ctor.attributes) == 2
+        assert ctor.content[0] == "text"
+        assert isinstance(ctor.content[1], ast.VarRef)
+
+    def test_nested_elements(self):
+        ctor = body("<a><b/><c>x</c></a>")
+        assert len(ctor.content) == 2
+
+    def test_namespace_declaration_on_constructor(self):
+        ctor = body('<a xmlns="http://n" xmlns:p="http://p"/>')
+        assert ctor.namespace_declarations[""] == "http://n"
+        assert ctor.namespace_declarations["p"] == "http://p"
+
+    def test_boundary_whitespace_stripped(self):
+        ctor = body("<a>\n  <b/>\n</a>")
+        assert all(not isinstance(piece, str) for piece in ctor.content)
+
+    def test_brace_escapes(self):
+        ctor = body("<a>{{literal}}</a>")
+        assert ctor.content == ["{literal}"]
+
+    def test_computed_constructors(self):
+        assert isinstance(body("element foo {1}"),
+                          ast.ComputedElementConstructor)
+        assert isinstance(body("attribute bar {'x'}"),
+                          ast.ComputedAttributeConstructor)
+        assert isinstance(body("text {'x'}"), ast.ComputedTextConstructor)
+        assert isinstance(body("document { <a/> }"),
+                          ast.ComputedDocumentConstructor)
+
+    def test_element_named_element_is_name_test(self):
+        path = body("$d/element")
+        assert path.steps[1].test.local == "element"
+
+
+class TestProlog:
+    def test_namespace_declarations(self):
+        module = parse_xquery(
+            'declare default element namespace "http://d"; '
+            'declare namespace c="http://c"; $x')
+        assert module.prolog.default_element_namespace == "http://d"
+        assert module.prolog.namespaces["c"] == "http://c"
+
+    def test_construction_mode(self):
+        module = parse_xquery("declare construction preserve; 1")
+        assert module.prolog.construction_mode == "preserve"
+
+    def test_default_ns_applies_to_name_tests(self):
+        module = parse_xquery(
+            'declare default element namespace "http://d"; $x/order')
+        step = module.body.steps[1]
+        assert step.test.uri == "http://d"
+
+    def test_default_ns_not_applied_to_attributes(self):
+        module = parse_xquery(
+            'declare default element namespace "http://d"; $x/@price')
+        assert module.body.steps[1].test.uri == ""
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "for $x in",                    # incomplete FLWOR
+        "1 +",                          # dangling operator
+        "<a>",                          # unterminated constructor
+        "<a></b>",                      # mismatched constructor tags
+        "$x/unknown:name",              # undeclared prefix
+        "'unterminated",                # bad string
+        "(: unterminated",              # bad comment
+        "1 2",                          # trailing input
+        "let $x := 1",                  # FLWOR without return
+    ])
+    def test_rejects(self, bad):
+        with pytest.raises(XQueryStaticError):
+            parse_xquery(bad)
