@@ -11,6 +11,7 @@ import random
 import pytest
 
 from repro.core import analyze_eligibility
+from repro.planner.plan import execute_xquery
 from repro.storage.btree import BPlusTree
 from repro.workload import WorkloadGenerator
 from repro.xmlio import parse_document
@@ -78,3 +79,40 @@ def test_eligibility_analysis_overhead(benchmark, paper_bench_db):
              "//order[lineitem/@price>190] return $i")
     report = benchmark(lambda: analyze_eligibility(paper_bench_db, query))
     assert report.is_index_eligible("li_price")
+
+
+# ---------------------------------------------------------------------------
+# Descendant-heavy query evaluation (structural acceleration layer)
+# ---------------------------------------------------------------------------
+# These run with use_indexes=False on purpose: they measure raw XQuery
+# evaluation, where `//` chains are answered by per-document path
+# summaries instead of full-tree walks.  See EXPERIMENTS.md for the
+# seed-vs-accelerated numbers.
+
+def test_xquery_descendant_price_scan(benchmark, paper_bench_db):
+    query = "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem/@price"
+    result = benchmark(
+        lambda: execute_xquery(paper_bench_db, query, use_indexes=False))
+    assert len(result.items) > 0
+
+
+def test_xquery_descendant_product_ids(benchmark, paper_bench_db):
+    query = "db2-fn:xmlcolumn('ORDERS.ORDDOC')//product/id"
+    result = benchmark(
+        lambda: execute_xquery(paper_bench_db, query, use_indexes=False))
+    assert len(result.items) > 0
+
+
+def test_xquery_descendant_predicate_filter(benchmark, paper_bench_db):
+    query = ("db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+             "//order[lineitem/@price>190]")
+    result = benchmark(
+        lambda: execute_xquery(paper_bench_db, query, use_indexes=False))
+    assert len(result.items) > 0
+
+
+def test_xquery_rooted_path(benchmark, paper_bench_db):
+    query = "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/lineitem/product/id"
+    result = benchmark(
+        lambda: execute_xquery(paper_bench_db, query, use_indexes=False))
+    assert len(result.items) > 0

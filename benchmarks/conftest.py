@@ -8,6 +8,9 @@ pitfall benchmarks need.
 
 from __future__ import annotations
 
+import json
+import pathlib
+
 import pytest
 
 from repro import Database
@@ -59,3 +62,60 @@ def element_price_db() -> Database:
 
 #: Selectivity used by most predicates: price > 190 (~5% of lineitems).
 PRICE_BOUND = 190
+
+
+#: Seed-implementation medians (seconds) for the descendant-heavy
+#: queries, measured on the same workload/scale *before* the structural
+#: acceleration layer landed.  Kept here so BENCH_results.json always
+#: records the speedup against the original tree-walking evaluator.
+SEED_BASELINES = {
+    "benchmarks/bench_micro.py::test_xquery_descendant_price_scan":
+        0.00961,
+    "benchmarks/bench_micro.py::test_xquery_descendant_predicate_filter":
+        0.02069,
+    "benchmarks/bench_micro.py::test_xquery_descendant_product_ids":
+        0.00957,
+    "benchmarks/bench_micro.py::test_xquery_rooted_path":
+        0.00323,
+}
+
+
+def _median_seconds(bench) -> float | None:
+    """Median wall time of one pytest-benchmark result, version-tolerant."""
+    stats = getattr(bench, "stats", None)
+    median = getattr(stats, "median", None)
+    if median is None:
+        inner = getattr(stats, "stats", None)
+        median = getattr(inner, "median", None)
+    return median
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write machine-readable medians to benchmarks/BENCH_results.json.
+
+    One entry per benchmark, keyed ``module::test``, with the median
+    wall time in seconds — the number EXPERIMENTS.md quotes and CI can
+    diff without parsing pytest-benchmark's table output.
+    """
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not bench_session.benchmarks:
+        return
+    results = {}
+    for bench in bench_session.benchmarks:
+        median = _median_seconds(bench)
+        if median is None:
+            continue
+        entry = {
+            "median_seconds": median,
+            "rounds": getattr(bench.stats, "rounds", None),
+        }
+        seed = SEED_BASELINES.get(bench.fullname)
+        if seed is not None:
+            entry["seed_median_seconds"] = seed
+            entry["speedup_vs_seed"] = round(seed / median, 2)
+        results[bench.fullname] = entry
+    if not results:
+        return
+    out_path = pathlib.Path(__file__).with_name("BENCH_results.json")
+    payload = {"scale_orders": SCALE, "benchmarks": results}
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

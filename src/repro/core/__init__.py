@@ -11,12 +11,14 @@ from .patterns import (LinearPattern, PathComponent, PathPattern,
 from .predicates import (FILTERING_CONTEXTS, Origin, PredicateCandidate,
                          PredicateContext, SQLTypedValue,
                          extract_candidates)
+from .querycache import CompiledQuery, compile_query
 from .report import EligibilityReport, IndexVerdict, PredicateReport, Reason
 from .rewriter import RewriteResult, rewrite_view_flattening
 
 __all__ = [
     "Advice", "advise", "advise_index_pattern",
-    "BetweenGroup", "EligibilityReport", "FILTERING_CONTEXTS",
+    "BetweenGroup", "CompiledQuery", "compile_query",
+    "EligibilityReport", "FILTERING_CONTEXTS",
     "IndexVerdict", "LinearPattern", "Origin", "PathComponent",
     "PathPattern", "PatternStep", "PredicateCandidate", "PredicateContext",
     "PredicateReport", "Reason", "SQLTypedValue", "StepTest",

@@ -140,6 +140,6 @@ def analyze_eligibility(database, query: str,
         from ..sql.analyzer import extract_sql_candidates
         candidates = extract_sql_candidates(database, query)
         return analyze_candidates(database, candidates, query, "sql")
-    module = parse_xquery(query)
-    candidates = extract_candidates(module)
+    from .querycache import compile_query
+    candidates = list(compile_query(query).candidates)
     return analyze_candidates(database, candidates, query, "xquery")

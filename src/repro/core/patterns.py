@@ -28,6 +28,7 @@ index, never use one incorrectly).
 
 from __future__ import annotations
 
+import functools
 import itertools
 import re
 from dataclasses import dataclass
@@ -365,8 +366,13 @@ _KIND_TEST_RE = re.compile(
 _KIND_TEST_NAMES = {"node", "text", "comment", "processing-instruction"}
 
 
+@functools.lru_cache(maxsize=512)
 def parse_xmlpattern(text: str) -> PathPattern:
-    """Parse an XMLPATTERN string into a :class:`PathPattern`."""
+    """Parse an XMLPATTERN string into a :class:`PathPattern`.
+
+    Memoized: PathPattern and everything inside it is frozen, so
+    repeated DDL/queries with the same pattern text share one parse.
+    """
     source = text.strip()
     remaining = source
     default_ns = ""

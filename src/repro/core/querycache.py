@@ -1,0 +1,74 @@
+"""LRU compiled-query cache: parsed module + extracted predicates.
+
+Query texts repeat — benchmarks re-run the same workload, the CLI
+replays history, SQL/XML statements embed the same XMLQUERY bodies row
+after row.  Parsing and candidate extraction are pure functions of the
+text (modules are never mutated after parse; rewrites construct new
+Modules), so both are computed once per text and shared by
+``xquery.evaluate``, the planner (:mod:`repro.planner.plan`), the SQL
+executor's embedded-body cache, and the CLI.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..xquery import ast
+from ..xquery.parser import parse_xquery
+
+__all__ = ["CompiledQuery", "compile_query", "cache_info", "clear_cache"]
+
+
+@dataclass(frozen=True)
+class CompiledQuery:
+    """One cache entry: the parse result and its predicate candidates."""
+
+    source: str
+    module: ast.Module
+    #: Extracted PredicateCandidates (tuple: shared read-only).
+    candidates: tuple
+
+
+@dataclass
+class CacheInfo:
+    hits: int
+    misses: int
+    size: int
+    maxsize: int
+
+
+_MAXSIZE = 256
+_cache: "OrderedDict[str, CompiledQuery]" = OrderedDict()
+_hits = 0
+_misses = 0
+
+
+def compile_query(source: str) -> CompiledQuery:
+    """Parse ``source`` and extract its predicate candidates, memoized
+    with LRU eviction."""
+    global _hits, _misses
+    entry = _cache.get(source)
+    if entry is not None:
+        _cache.move_to_end(source)
+        _hits += 1
+        return entry
+    _misses += 1
+    module = parse_xquery(source)
+    from .predicates import extract_candidates
+    entry = CompiledQuery(source, module, tuple(extract_candidates(module)))
+    _cache[source] = entry
+    if len(_cache) > _MAXSIZE:
+        _cache.popitem(last=False)
+    return entry
+
+
+def cache_info() -> CacheInfo:
+    return CacheInfo(_hits, _misses, len(_cache), _MAXSIZE)
+
+
+def clear_cache() -> None:
+    global _hits, _misses
+    _cache.clear()
+    _hits = 0
+    _misses = 0

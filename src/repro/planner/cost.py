@@ -102,7 +102,8 @@ class CostModel:
             self._histograms[id(index)] = histogram
         return histogram
 
-    def estimate_probe(self, index, low, high, total_docs: int
+    def estimate_probe(self, index, low, high, total_docs: int,
+                       docs_with_path: int | None = None
                        ) -> ProbeEstimate:
         """Estimate a range probe against ``index``.
 
@@ -110,18 +111,31 @@ class CostModel:
         index / table docs) × (key fraction in range), i.e. assuming
         entries spread evenly over documents — the standard
         independence assumption.
+
+        ``docs_with_path`` — the number of documents whose path summary
+        contains the *query's* path (see
+        :meth:`repro.storage.catalog.Database.docs_with_path`) — caps
+        the structural coverage: a document without the path cannot
+        survive the probe, however wide the key range.
         """
         if total_docs <= 0:
             return ProbeEstimate(0.0, 0.0, True, "empty table")
         key_fraction = self.histogram_for(index).range_fraction(low, high)
         docs_in_index = index.distinct_doc_count()
         coverage = min(1.0, docs_in_index / total_docs)
+        summary_note = ""
+        if docs_with_path is not None:
+            path_coverage = min(1.0, docs_with_path / total_docs)
+            if path_coverage < coverage:
+                coverage = path_coverage
+                summary_note = (f", path summary caps coverage at "
+                                f"{path_coverage:.2f}")
         docs_fraction = min(1.0, coverage * key_fraction *
                             max(1.0, len(index) / max(1, docs_in_index)))
         worthwhile = docs_fraction <= self.prefilter_threshold
         note = (f"estimated surviving fraction "
                 f"{docs_fraction:.2f} "
                 f"({'use' if worthwhile else 'skip'} probe, "
-                f"threshold {self.prefilter_threshold})")
+                f"threshold {self.prefilter_threshold}{summary_note})")
         return ProbeEstimate(key_fraction, docs_fraction, worthwhile,
                              note)

@@ -26,9 +26,9 @@ from dataclasses import dataclass, field
 from ..core.between import detect_between
 from ..core.eligibility import analyze_candidates, check_index
 from ..core.predicates import PredicateCandidate, extract_candidates
+from ..core.querycache import compile_query
 from ..xdm.sequence import Item
 from ..xquery.evaluator import evaluate_module
-from ..xquery.parser import parse_xquery
 from .stats import ExecutionStats
 
 
@@ -170,8 +170,16 @@ def plan_prefilters(database, candidates: list[PredicateCandidate],
         if cost_model is not None:
             table_name, _sep2, column_name = candidate.column.partition(".")
             total_docs = len(database.documents(table_name, column_name))
+            docs_with_path = None
+            if candidate.path is not None:
+                try:
+                    docs_with_path = database.docs_with_path(
+                        table_name, column_name, candidate.path)
+                except Exception:
+                    docs_with_path = None  # no summaries: histogram only
             estimate = cost_model.estimate_probe(
-                chosen_index, probe.low, probe.high, total_docs)
+                chosen_index, probe.low, probe.high, total_docs,
+                docs_with_path=docs_with_path)
             if not estimate.worthwhile:
                 stats.note(f"cost model skips {chosen_index.name} for "
                            f"{candidate.description}: {estimate.note}")
@@ -356,7 +364,9 @@ def execute_xquery(database, query: str,
     recorded in the plan notes.
     """
     stats = ExecutionStats()
-    module = parse_xquery(query)
+    compiled = compile_query(query)
+    module = compiled.module
+    candidates = list(compiled.candidates)
     if rewrite_views:
         from ..core.rewriter import rewrite_view_flattening
         rewrite = rewrite_view_flattening(module)
@@ -364,14 +374,15 @@ def execute_xquery(database, query: str,
             stats.note(note)
         for hazard in rewrite.hazards:
             stats.note(f"view flattening refused: {hazard}")
-        module = rewrite.module
+        if rewrite.module is not module:
+            module = rewrite.module
+            candidates = extract_candidates(module)
     runtime_db = database
     if use_indexes:
         cost_model = None
         if cost_based:
             from .cost import CostModel
             cost_model = CostModel(prefilter_threshold=prefilter_threshold)
-        candidates = extract_candidates(module)
         prefilters = plan_prefilters(database, candidates, stats,
                                      cost_model=cost_model)
         if prefilters:
@@ -394,8 +405,8 @@ def execute_xquery(database, query: str,
 
 def explain_xquery(database, query: str) -> str:
     """Human-readable plan + eligibility explanation."""
-    module = parse_xquery(query)
-    candidates = extract_candidates(module)
+    compiled = compile_query(query)
+    candidates = list(compiled.candidates)
     report = analyze_candidates(database, candidates, query, "xquery")
     stats = ExecutionStats()
     prefilters = plan_prefilters(database, candidates, stats)

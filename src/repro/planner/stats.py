@@ -25,6 +25,9 @@ class ExecutionStats:
     #: Number of separate index range scans performed ("between" as one
     #: scan vs two ANDed scans, Section 3.10).
     index_scans: int = 0
+    #: Path-summary lookups that answered a step chain without a tree
+    #: walk (the structural acceleration fast path).
+    summary_lookups: int = 0
     #: Names of indexes actually used.
     indexes_used: list[str] = field(default_factory=list)
     #: Human-readable plan decisions, in order.
@@ -45,5 +48,6 @@ class ExecutionStats:
             f"rows_scanned={self.rows_scanned} "
             f"index_entries_scanned={self.index_entries_scanned} "
             f"index_scans={self.index_scans} "
+            f"summary_lookups={self.summary_lookups} "
             f"indexes_used={self.indexes_used}")
         return "\n".join(lines)

@@ -860,11 +860,12 @@ class _SQLExecutor:
     def _parse_body(self, text: str):
         cached = self._body_cache.get(text)
         if cached is None:
-            module = parse_xquery(text)
+            from ..core.querycache import compile_query
+            compiled = compile_query(text)
+            module = compiled.module
             runtime_db = self.database
             if self.use_indexes:
-                from ..core.predicates import extract_candidates
-                candidates = extract_candidates(module)
+                candidates = list(compiled.candidates)
                 prefilters = plan_prefilters(self.database, candidates,
                                              self.stats)
                 if prefilters:

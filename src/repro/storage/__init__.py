@@ -1,10 +1,12 @@
-"""Storage: B+Trees, tables, XML value indexes, relational indexes."""
+"""Storage: B+Trees, tables, path summaries, XML and relational indexes."""
 
 from .btree import BPlusTree
 from .catalog import Database
+from .pathsummary import PathSummary, build_summary, get_summary
 from .relindex import RelationalIndex
 from .table import Row, StoredDocument, Table
 from .xmlindex import IndexEntry, XmlIndex
 
-__all__ = ["BPlusTree", "Database", "IndexEntry", "RelationalIndex",
-           "Row", "StoredDocument", "Table", "XmlIndex"]
+__all__ = ["BPlusTree", "Database", "IndexEntry", "PathSummary",
+           "RelationalIndex", "Row", "StoredDocument", "Table",
+           "XmlIndex", "build_summary", "get_summary"]

@@ -16,6 +16,7 @@ from ..schema.validator import validate
 from ..xdm.nodes import DocumentNode
 from ..xdm.sequence import Item
 from ..xmlio.parser import parse_document
+from .pathsummary import PatternMatcher, build_summary, get_summary
 from .relindex import RelationalIndex
 from .table import Row, StoredDocument, Table, next_doc_id
 from .xmlindex import XmlIndex
@@ -147,6 +148,10 @@ class Database:
                 stored = StoredDocument(
                     next_doc_id(), document,
                     doc_schema.name if doc_schema else None)
+                # Build the structural path summary at ingest: it backs
+                # the evaluator's `//tag` fast path, index builds, and
+                # the planner's cardinality estimates.
+                build_summary(document)
                 stored_docs.append(stored)
                 prepared[key] = stored
             else:
@@ -238,6 +243,36 @@ class Database:
                 f"xmlcolumn reference must be 'TABLE.COLUMN', got "
                 f"{reference!r}")
         return parts[0], parts[1]
+
+    def docs_with_path(self, table: str, column: str, pattern) -> int:
+        """How many of the column's documents contain ≥1 node matching
+        ``pattern`` (an XMLPATTERN string or parsed PathPattern) — the
+        structural fraction the cost model folds into probe estimates."""
+        matcher = PatternMatcher(self._as_pattern(pattern))
+        count = 0
+        for stored in self.documents(table, column):
+            summary = get_summary(stored.document, build=True)
+            if summary is not None and summary.has_matching(matcher):
+                count += 1
+        return count
+
+    def path_cardinality(self, table: str, column: str, pattern) -> int:
+        """Total node count matching ``pattern`` across the column's
+        documents, answered from per-document path summaries."""
+        matcher = PatternMatcher(self._as_pattern(pattern))
+        total = 0
+        for stored in self.documents(table, column):
+            summary = get_summary(stored.document, build=True)
+            if summary is not None:
+                total += summary.count_matching(matcher)
+        return total
+
+    @staticmethod
+    def _as_pattern(pattern):
+        if isinstance(pattern, str):
+            from ..core.patterns import parse_xmlpattern
+            return parse_xmlpattern(pattern)
+        return pattern
 
     def xml_indexes_on(self, table: str, column: str) -> list[XmlIndex]:
         return [index for index in self.xml_indexes.values()

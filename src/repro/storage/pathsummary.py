@@ -1,0 +1,234 @@
+"""Per-document path summaries — the structural acceleration layer.
+
+A path summary maps every *distinct* root-to-node tag path of a
+document (``order/lineitem/@price``, ``order/date/text()``, …) to the
+list of nodes reachable along it, in document order, plus counts.  It
+is built once at ingest with a single tree walk and answers three
+questions that otherwise require full-tree scans:
+
+* which nodes match ``//tag`` or a rooted path (``/order/lineitem``)?
+  — the XQuery evaluator's fast path for predicate-free step chains;
+* how many nodes/documents match an XMLPATTERN? — real cardinalities
+  for the planner's selectivity estimates (see
+  :mod:`repro.planner.cost`);
+* which nodes does a new XML index cover? — index builds iterate the
+  summary's few distinct paths instead of re-walking every node.
+
+Validity is tied to the tree's structure stamp (see
+``xdm.nodes._TreeStamp``): any mutation beneath the document
+invalidates the stamp in O(1) and the summary is rebuilt lazily on
+next access, mirroring the lazy ``(pre, post)`` renumbering.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.patterns import (LinearPattern, PathComponent, PathPattern,
+                             parse_xmlpattern)
+from ..xdm.nodes import DocumentNode, Node
+
+__all__ = ["PathSummary", "PatternMatcher", "build_summary", "get_summary",
+           "indexable_nodes"]
+
+PathKey = tuple  # tuple[PathComponent, ...]
+
+#: Interning table for distinct path tuples.  Documents of one workload
+#: share a handful of path shapes; interning makes equal paths *the
+#: same object*, so match memos can key on ``id(path)`` instead of
+#: hashing nested dataclasses on every lookup.
+_PATH_INTERN: dict[PathKey, PathKey] = {}
+
+
+def _intern_path(path: PathKey) -> PathKey:
+    return _PATH_INTERN.setdefault(path, path)
+
+
+class PatternMatcher:
+    """Memoized pattern-vs-path matching keyed on interned path identity.
+
+    One NFA simulation per (matcher, distinct path shape); every later
+    ask is an id-keyed dict hit.  The memo stores the path tuple
+    alongside the verdict, keeping it alive so its ``id`` can never be
+    recycled for a different path.
+    """
+
+    __slots__ = ("pattern", "_verdicts")
+
+    def __init__(self, pattern):
+        self.pattern = pattern
+        self._verdicts: dict[int, tuple[PathKey, bool]] = {}
+
+    def matches(self, path: PathKey) -> bool:
+        entry = self._verdicts.get(id(path))
+        if entry is None:
+            verdict = self.pattern.matches_path(list(path))
+            self._verdicts[id(path)] = (path, verdict)
+            return verdict
+        return entry[1]
+
+
+def _as_matcher(pattern) -> PatternMatcher:
+    if isinstance(pattern, PatternMatcher):
+        return pattern
+    return PatternMatcher(pattern)
+
+
+def _component_of(node: Node) -> PathComponent:
+    name = node.name
+    if name is None:
+        return PathComponent(node.kind)
+    return PathComponent(node.kind, name.uri, name.local)
+
+
+def indexable_nodes(document: DocumentNode
+                    ) -> Iterator[tuple[Node, list[PathComponent]]]:
+    """All nodes of a document with their root-to-node path components.
+
+    The path is built incrementally during the walk — O(depth) per node
+    instead of O(depth²) via Node.path_steps().
+    """
+    stack: list[tuple[Node, list[PathComponent]]] = [
+        (child, [_component_of(child)]) for child in
+        reversed(document.children)]
+    while stack:
+        node, components = stack.pop()
+        yield node, components
+        for attribute in node.attributes:
+            yield attribute, components + [_component_of(attribute)]
+        for child in reversed(node.children):
+            stack.append((child, components + [_component_of(child)]))
+
+
+class PathSummary:
+    """Distinct root-to-node paths of one document, with node lists."""
+
+    __slots__ = ("entries", "node_count", "_by_tag", "_stamp")
+
+    def __init__(self, entries: dict[PathKey, list[Node]], stamp):
+        #: path components tuple -> nodes along that path, doc order.
+        self.entries = entries
+        self.node_count = sum(len(nodes) for nodes in entries.values())
+        #: (kind, uri, local) -> merged node lists for `//tag` lookups.
+        by_tag: dict[tuple[str, str, str], list[Node]] = {}
+        for path, nodes in entries.items():
+            tail = path[-1]
+            by_tag.setdefault((tail.kind, tail.uri, tail.local),
+                              []).extend(nodes)
+        self._by_tag = by_tag
+        self._stamp = stamp
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def build(cls, document: DocumentNode) -> "PathSummary":
+        # Numbering first: the summary's validity is the tree stamp,
+        # and node lists rely on cached document-order keys for merges.
+        document.structure()
+        entries: dict[PathKey, list[Node]] = {}
+        for node, components in indexable_nodes(document):
+            entries.setdefault(_intern_path(tuple(components)),
+                               []).append(node)
+        return cls(entries, document._stamp)
+
+    def is_stale(self) -> bool:
+        return not self._stamp.valid
+
+    # -- lookups --------------------------------------------------------
+
+    def distinct_paths(self) -> list[PathKey]:
+        return list(self.entries)
+
+    def counts(self) -> dict[PathKey, int]:
+        return {path: len(nodes) for path, nodes in self.entries.items()}
+
+    def _matching_keys(self, pattern) -> list[PathKey]:
+        matcher = _as_matcher(pattern)
+        return [path for path in self.entries if matcher.matches(path)]
+
+    def nodes_matching(self, pattern
+                       ) -> Iterator[tuple[Node, PathKey]]:
+        """(node, path) pairs whose path matches ``pattern``.
+
+        ``pattern`` is a :class:`PatternMatcher` (preferred when the
+        call repeats across documents), or anything with
+        ``matches_path``.  Yields path-by-path; within a path, nodes
+        come in document order.
+        """
+        for path in self._matching_keys(pattern):
+            for node in self.entries[path]:
+                yield node, path
+
+    def nodes_for(self, pattern) -> list[Node]:
+        """All nodes matching ``pattern``, in document order."""
+        matched = self._matching_keys(pattern)
+        if not matched:
+            return []
+        if len(matched) == 1:
+            return list(self.entries[matched[0]])
+        nodes: list[Node] = []
+        for path in matched:
+            nodes.extend(self.entries[path])
+        nodes.sort(key=lambda node: node.document_order_key())
+        return nodes
+
+    def nodes_for_tag(self, kind: str, uri: str | None,
+                      local: str) -> list[Node]:
+        """``//tag`` in one lookup: nodes whose path *ends* with the tag.
+
+        ``uri=None`` wildcards the namespace (``*:local``).
+        """
+        if uri is not None:
+            return list(self._by_tag.get((kind, uri, local), []))
+        nodes: list[Node] = []
+        groups = 0
+        for (tag_kind, _tag_uri, tag_local), group in self._by_tag.items():
+            if tag_kind == kind and tag_local == local:
+                nodes.extend(group)
+                groups += 1
+        if groups > 1:
+            nodes.sort(key=lambda node: node.document_order_key())
+        return nodes
+
+    def count_matching(self, pattern) -> int:
+        """Number of nodes whose path matches ``pattern``."""
+        return sum(len(self.entries[path])
+                   for path in self._matching_keys(pattern))
+
+    def has_matching(self, pattern) -> bool:
+        return bool(self._matching_keys(pattern))
+
+
+def build_summary(document: DocumentNode) -> PathSummary:
+    """Build (or rebuild) and register the summary for ``document``."""
+    summary = PathSummary.build(document)
+    document.path_summary = summary
+    return summary
+
+
+def get_summary(document, build: bool = False) -> PathSummary | None:
+    """The document's registered summary, rebuilt if stale.
+
+    With ``build=False`` (the evaluator's setting) documents that were
+    never ingested — e.g. freshly constructed elements — return None
+    and take the unaccelerated path; only ingest-registered documents
+    pay the (amortized) rebuild cost after mutations.
+    """
+    if not isinstance(document, DocumentNode):
+        return None
+    summary = document.path_summary
+    if summary is None:
+        return build_summary(document) if build else None
+    if summary.is_stale():
+        return build_summary(document)
+    return summary
+
+
+def pattern_for(pattern_text: str) -> PathPattern:
+    """Parse an XMLPATTERN (memoized upstream) for cardinality lookups."""
+    return parse_xmlpattern(pattern_text)
+
+
+def linear_pattern(steps) -> LinearPattern:
+    """Assemble a LinearPattern from pattern steps (evaluator fast path)."""
+    return LinearPattern(tuple(steps))

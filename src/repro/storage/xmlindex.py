@@ -31,6 +31,8 @@ from ..xdm.atomic import (AtomicValue, T_DATE, T_DATETIME, T_DOUBLE,
                           T_STRING, cast)
 from ..xdm.nodes import DocumentNode, Node
 from .btree import BPlusTree
+from .pathsummary import (PatternMatcher, get_summary,
+                          indexable_nodes as _indexable_nodes)
 
 #: SQL index type keyword -> xdm atomic type used for key casting.
 INDEX_TYPE_TO_XDM = {
@@ -63,6 +65,9 @@ class XmlIndex:
         self.table = table
         self.column = column
         self.pattern: PathPattern = parse_xmlpattern(pattern_text)
+        #: Long-lived matcher: one NFA run per distinct path shape over
+        #: the whole life of the index, id-keyed hits afterwards.
+        self._pattern_matcher = PatternMatcher(self.pattern)
         self.index_type = index_type
         self.xdm_type = INDEX_TYPE_TO_XDM[index_type]
         self.tree = BPlusTree(order=order)
@@ -80,9 +85,7 @@ class XmlIndex:
     # ------------------------------------------------------------------
 
     def index_document(self, doc_id: int, document: DocumentNode) -> None:
-        for node, components in _indexable_nodes(document):
-            if not self.pattern.matches_path(components):
-                continue
+        for node, components in self._matching_nodes(document):
             key = self._key_for(node)
             if key is None:
                 self.skipped_nodes += 1
@@ -93,9 +96,7 @@ class XmlIndex:
                 self._doc_entry_counts.get(doc_id, 0) + 1
 
     def remove_document(self, doc_id: int, document: DocumentNode) -> None:
-        for node, components in _indexable_nodes(document):
-            if not self.pattern.matches_path(components):
-                continue
+        for node, components in self._matching_nodes(document):
             key = self._key_for(node)
             if key is None:
                 continue
@@ -106,6 +107,18 @@ class XmlIndex:
                     self._doc_entry_counts[doc_id] = remaining
                 else:
                     self._doc_entry_counts.pop(doc_id, None)
+
+    def _matching_nodes(self, document: DocumentNode):
+        """(node, path) pairs of the document matching this index's
+        pattern — via the path summary when one exists (the pattern is
+        then tested once per *distinct* path instead of once per node),
+        falling back to a full walk otherwise."""
+        summary = get_summary(document, build=True)
+        if summary is not None:
+            return summary.nodes_matching(self._pattern_matcher)
+        return ((node, components) for node, components
+                in _indexable_nodes(document)
+                if self.pattern.matches_path(components))
 
     def distinct_doc_count(self) -> int:
         """Number of documents with at least one entry in this index."""
@@ -182,29 +195,3 @@ def atomic_to_key(value: AtomicValue):
             stamp = stamp.astimezone(_dt.timezone.utc).replace(tzinfo=None)
         return stamp
     return value.value
-
-
-def _indexable_nodes(document: DocumentNode
-                     ) -> Iterator[tuple[Node, list[PathComponent]]]:
-    """All nodes of a document with their root-to-node path components.
-
-    The path is built incrementally during the walk — O(depth) per node
-    instead of O(depth²) via Node.path_steps().
-    """
-    stack: list[tuple[Node, list[PathComponent]]] = [
-        (child, [_component_of(child)]) for child in
-        reversed(document.children)]
-    while stack:
-        node, components = stack.pop()
-        yield node, components
-        for attribute in node.attributes:
-            yield attribute, components + [_component_of(attribute)]
-        for child in reversed(node.children):
-            stack.append((child, components + [_component_of(child)]))
-
-
-def _component_of(node: Node) -> PathComponent:
-    name = node.name
-    if name is None:
-        return PathComponent(node.kind)
-    return PathComponent(node.kind, name.uri, name.local)

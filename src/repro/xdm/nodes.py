@@ -8,7 +8,11 @@ modelled exactly:
   yields fresh identities, so ``$view/@price except .../@price`` keeps
   all nodes instead of cancelling out.
 * **Document order**: a stable total order, per tree, used for path
-  expression deduplication and the ``<<``/``>>`` comparisons.
+  expression deduplication and the ``<<``/``>>`` comparisons.  Every
+  node additionally carries a ``(pre, post, level)`` *interval
+  encoding* (assigned lazily per tree, eagerly at parse time) so
+  descendant/ancestor/following tests are plain integer comparisons
+  and document-order sorting is a key sort with no tree walks.
 * **Type annotations** (Sections 3.1, 3.6, 3.8): unvalidated elements
   are ``xdt:untyped`` and attributes ``xdt:untypedAtomic``; validation
   may attach schema types, including *list* types whose typed value is a
@@ -30,17 +34,36 @@ _NODE_IDS = itertools.count(1)
 UNTYPED_ELEMENT = "xdt:untyped"
 
 
+class _TreeStamp:
+    """Shared validity token for one numbering pass over one tree.
+
+    Every node numbered in the same pass holds a reference to the same
+    stamp, so invalidating the structure of an entire tree after a
+    mutation is a single O(1) write (``stamp.valid = False``) instead
+    of a full-tree walk.
+    """
+
+    __slots__ = ("valid",)
+
+    def __init__(self):
+        self.valid = True
+
+
 class Node:
     """Abstract base of all seven XDM node kinds (we omit namespace nodes)."""
 
     kind = "node"
 
-    __slots__ = ("node_id", "parent", "_order")
+    __slots__ = ("node_id", "parent", "_order", "_post", "_level",
+                 "_stamp")
 
     def __init__(self):
         self.node_id = next(_NODE_IDS)
         self.parent: Node | None = None
         self._order: tuple[int, int] | None = None
+        self._post: int = -1
+        self._level: int = -1
+        self._stamp: _TreeStamp | None = None
 
     # -- identity & order --------------------------------------------
 
@@ -54,17 +77,51 @@ class Node:
             node = node.parent
         return node
 
-    def document_order_key(self) -> tuple[int, int]:
-        """(tree id, position) — comparable within and across trees."""
-        if self._order is None:
+    def _ensure_structure(self) -> None:
+        stamp = self._stamp
+        if stamp is None or not stamp.valid:
             _number_tree(self.root)
+
+    def document_order_key(self) -> tuple[int, int]:
+        """(tree id, pre position) — comparable within and across trees."""
+        self._ensure_structure()
         assert self._order is not None
         return self._order
 
-    def _invalidate_order(self) -> None:
-        root = self.root
-        for node in _walk_all(root):
-            node._order = None
+    def structure(self) -> tuple[int, int, int, int]:
+        """The node's ``(tree_id, pre, post, level)`` interval encoding.
+
+        ``pre`` counts nodes in document order (attributes between
+        their element and its children), ``post`` counts completion
+        order, ``level`` is the depth below the tree root.  A node
+        ``d`` lies in ``a``'s subtree iff ``a.pre < d.pre`` and
+        ``d.post < a.post`` — the accelerated axis tests build on this.
+        """
+        self._ensure_structure()
+        assert self._order is not None
+        tree_id, pre = self._order
+        return tree_id, pre, self._post, self._level
+
+    @property
+    def level(self) -> int:
+        self._ensure_structure()
+        return self._level
+
+    def is_ancestor_of(self, other: "Node") -> bool:
+        """Interval containment test — O(1) after numbering."""
+        tree, pre, post, _level = self.structure()
+        other_tree, other_pre, other_post, _other = other.structure()
+        return (tree == other_tree and pre < other_pre
+                and other_post < post)
+
+    def is_descendant_of(self, other: "Node") -> bool:
+        return other.is_ancestor_of(self)
+
+    def _mark_structure_dirty(self) -> None:
+        """Invalidate the cached encoding of this node's whole tree."""
+        stamp = self._stamp
+        if stamp is not None:
+            stamp.valid = False
 
     # -- values --------------------------------------------------------
 
@@ -130,9 +187,34 @@ def _walk_all(node: Node) -> Iterator[Node]:
 
 
 def _number_tree(root: Node) -> None:
+    """Assign ``(pre, post, level)`` to every node of ``root``'s tree.
+
+    Iterative two-phase DFS: a node receives its ``pre`` number (and
+    level) when first visited and its ``post`` number after its whole
+    subtree — attributes included — has been numbered.  All nodes get
+    the same fresh :class:`_TreeStamp`, making later whole-tree
+    invalidation O(1).
+    """
     tree_id = root.node_id
-    for position, node in enumerate(_walk_all(root)):
-        node._order = (tree_id, position)
+    stamp = _TreeStamp()
+    pre = 0
+    post = 0
+    stack: list[tuple[Node, int, bool]] = [(root, 0, False)]
+    while stack:
+        node, level, finished = stack.pop()
+        if finished:
+            node._post = post
+            post += 1
+            continue
+        node._order = (tree_id, pre)
+        pre += 1
+        node._level = level
+        node._stamp = stamp
+        stack.append((node, level, True))
+        for child in reversed(node.children):
+            stack.append((child, level + 1, False))
+        for attribute in reversed(node.attributes):
+            stack.append((attribute, level + 1, False))
 
 
 class DocumentNode(Node):
@@ -140,13 +222,17 @@ class DocumentNode(Node):
 
     kind = "document"
 
-    __slots__ = ("_children", "document_uri")
+    __slots__ = ("_children", "document_uri", "path_summary")
 
     def __init__(self, children: list[Node] | None = None,
                  document_uri: str = ""):
         super().__init__()
         self._children: list[Node] = []
         self.document_uri = document_uri
+        #: Set by the storage layer at ingest (see
+        #: :mod:`repro.storage.pathsummary`); stamp-validated, so a
+        #: stale summary is rebuilt lazily after mutations.
+        self.path_summary = None
         for child in children or []:
             self.append_child(child)
 
@@ -157,8 +243,22 @@ class DocumentNode(Node):
     def append_child(self, child: Node) -> None:
         child.parent = self
         self._children.append(child)
-        self._order = None
-        child._order = None
+        self._mark_structure_dirty()
+        child._mark_structure_dirty()
+
+    def insert_child(self, position: int, child: Node) -> None:
+        """Insert ``child`` at ``position``; invalidates ``(pre, post)``."""
+        child.parent = self
+        self._children.insert(position, child)
+        self._mark_structure_dirty()
+        child._mark_structure_dirty()
+
+    def remove_child(self, child: Node) -> None:
+        """Detach ``child``; invalidates ``(pre, post)`` of the tree."""
+        self._children.remove(child)
+        child.parent = None
+        self._mark_structure_dirty()
+        child._mark_structure_dirty()
 
     def string_value(self) -> str:
         return "".join(child.string_value() for child in self._children
@@ -214,15 +314,38 @@ class ElementNode(Node):
     def add_attribute(self, attribute: "AttributeNode") -> None:
         attribute.parent = self
         self._attributes.append(attribute)
-        self._order = None
+        self._mark_structure_dirty()
+        attribute._mark_structure_dirty()
 
     def append_child(self, child: Node) -> None:
         if child.kind == "attribute":
             raise XQueryTypeError("attribute node cannot be a child")
         child.parent = self
         self._children.append(child)
-        self._order = None
-        child._order = None
+        self._mark_structure_dirty()
+        child._mark_structure_dirty()
+
+    def insert_child(self, position: int, child: Node) -> None:
+        """Insert ``child`` at ``position``; invalidates ``(pre, post)``."""
+        if child.kind == "attribute":
+            raise XQueryTypeError("attribute node cannot be a child")
+        child.parent = self
+        self._children.insert(position, child)
+        self._mark_structure_dirty()
+        child._mark_structure_dirty()
+
+    def remove_child(self, child: Node) -> None:
+        """Detach ``child``; invalidates ``(pre, post)`` of the tree."""
+        self._children.remove(child)
+        child.parent = None
+        self._mark_structure_dirty()
+        child._mark_structure_dirty()
+
+    def remove_attribute(self, attribute: "AttributeNode") -> None:
+        self._attributes.remove(attribute)
+        attribute.parent = None
+        self._mark_structure_dirty()
+        attribute._mark_structure_dirty()
 
     def attribute(self, local: str, uri: str = "") -> "AttributeNode | None":
         for attribute in self._attributes:

@@ -75,9 +75,21 @@ def document_order(nodes: Iterable[Node]) -> list[Node]:
     This is the implicit behaviour of path expressions and the explicit
     behaviour of ``union``/``intersect``/``except``.
     """
+    materialized = nodes if isinstance(nodes, list) else list(nodes)
+    # Fast path: strictly increasing document-order keys mean the
+    # sequence is already sorted and duplicate-free — O(n) key reads
+    # (cached after the tree is numbered), no set, no sort.
+    previous: tuple[int, int] | None = None
+    for node in materialized:
+        key = node.document_order_key()
+        if previous is not None and key <= previous:
+            break
+        previous = key
+    else:
+        return list(materialized)
     seen: set[int] = set()
     unique: list[Node] = []
-    for node in nodes:
+    for node in materialized:
         if node.node_id not in seen:
             seen.add(node.node_id)
             unique.append(node)

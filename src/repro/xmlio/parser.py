@@ -86,6 +86,11 @@ def parse_document(text: str, document_uri: str = "") -> DocumentNode:
                 f"{cursor.peek()!r}")
     if not saw_root:
         raise cursor.error("document has no root element")
+    # Assign the (pre, post, level) interval encoding eagerly: freshly
+    # parsed documents are immediately usable for accelerated axis
+    # tests and O(1) document-order keys without a lazy numbering walk
+    # on the first query.
+    document.structure()
     return document
 
 
@@ -97,7 +102,7 @@ def parse_fragment(text: str) -> list[Node]:
     assert root is not None
     children = list(root.children)
     for child in children:
-        child.parent = None
+        root.remove_child(child)
     return children
 
 

@@ -28,16 +28,28 @@ from ..xdm.sequence import (Item, atomize, document_order,
 from . import ast
 from .context import DynamicContext
 from .functions import lookup_function
-from .parser import parse_xquery
 
 __all__ = ["evaluate", "evaluate_module", "Evaluator"]
+
+#: Axes whose output from a *single* context node is already in
+#: document order with no duplicates — the final dedup/re-sort pass is
+#: skipped for them (the streaming fast path of the path pipeline).
+_SORTED_SINGLE_AXES = frozenset({
+    "self", "child", "attribute", "descendant", "descendant-or-self",
+    "following-sibling", "following",
+})
 
 
 def evaluate(source: str, database=None,
              variables: dict[str, list[Item]] | None = None,
              stats=None) -> list[Item]:
-    """Parse and evaluate an XQuery string; returns the result sequence."""
-    module = parse_xquery(source)
+    """Parse and evaluate an XQuery string; returns the result sequence.
+
+    Compilation goes through the shared LRU compiled-query cache, so
+    repeated evaluations of the same text skip the parser entirely.
+    """
+    from ..core.querycache import compile_query
+    module = compile_query(source).module
     return evaluate_module(module, database=database, variables=variables,
                            stats=stats)
 
@@ -371,17 +383,19 @@ class Evaluator:
     def _eval_PathExpr(self, expr: ast.PathExpr, ctx) -> list[Item]:
         if expr.absolute:
             root = self._context_root(ctx)
-            items: list[Item] = [root]
+            steps: list[ast.Step] = list(expr.steps)
             if expr.absolute == "//":
-                items = self._apply_axis_step(
-                    ast.AxisStep("descendant-or-self", ast.KindTest("node")),
-                    items, ctx)
-        else:
-            first = expr.steps[0]
-            if isinstance(first, ast.ExprStep):
-                items = self._apply_expr_step(first, None, ctx)
-                return self._apply_remaining(expr.steps[1:], items, ctx)
-            items = [ctx.require_context_item()]
+                # Keep the expansion symbolic so the path-summary fast
+                # path can fold it into a gap step instead of eagerly
+                # materializing every subtree node.
+                steps.insert(0, ast.AxisStep("descendant-or-self",
+                                             ast.KindTest("node")))
+            return self._apply_remaining(steps, [root], ctx)
+        first = expr.steps[0]
+        if isinstance(first, ast.ExprStep):
+            items = self._apply_expr_step(first, None, ctx)
+            return self._apply_remaining(expr.steps[1:], items, ctx)
+        items = [ctx.require_context_item()]
         return self._apply_remaining(expr.steps, items, ctx)
 
     def _context_root(self, ctx: DynamicContext) -> Node:
@@ -398,6 +412,11 @@ class Evaluator:
         return root
 
     def _apply_remaining(self, steps, items: list[Item], ctx) -> list[Item]:
+        # Cheap pre-check: the summary fast path only applies when the
+        # context is document nodes (relative paths inside predicates hit
+        # this with element contexts thousands of times per query).
+        if steps and items and isinstance(items[0], DocumentNode):
+            steps, items = self._try_summary_lookup(steps, items, ctx)
         for step in steps:
             if isinstance(step, ast.AxisStep):
                 items = self._apply_axis_step(step, items, ctx)
@@ -405,18 +424,75 @@ class Evaluator:
                 items = self._apply_expr_step(step, items, ctx)
         return items
 
+    def _try_summary_lookup(self, steps, items: list[Item], ctx
+                            ) -> tuple[list, list[Item]]:
+        """Answer a leading predicate-free step chain from path summaries.
+
+        When every context item is an ingested document (it carries a
+        valid path summary) and a prefix of the steps compiles to a
+        linear path pattern, the matching nodes come straight from the
+        summary's per-path node lists — no subtree materialization, no
+        re-sort.  Returns the (possibly shortened) remaining steps and
+        the new context items; on any doubt it returns the inputs
+        unchanged and the generic pipeline runs.
+        """
+        from ..storage.pathsummary import get_summary
+        summaries = []
+        for item in items:
+            if not isinstance(item, DocumentNode):
+                return steps, items
+            summary = get_summary(item)
+            if summary is None:
+                return steps, items
+            summaries.append(summary)
+        pattern_steps, consumed, predicates = _compile_summary_prefix(steps)
+        if not consumed:
+            return steps, items
+        from ..core.patterns import LinearPattern
+        from ..storage.pathsummary import PatternMatcher
+        matcher = PatternMatcher(LinearPattern(tuple(pattern_steps)))
+        nodes: list[Node] = []
+        for summary in summaries:
+            nodes.extend(summary.nodes_for(matcher))
+        if ctx.stats is not None:
+            ctx.stats.summary_lookups += 1
+        nodes = document_order(nodes)
+        if predicates:
+            nodes = self._filter_predicates(nodes, predicates, ctx)
+        return steps[consumed:], nodes
+
     def _apply_axis_step(self, step: ast.AxisStep, items: list[Item],
                          ctx) -> list[Item]:
+        single = len(items) == 1
+        axis = step.axis
+        test = step.test
+        # The two hottest shapes, inlined: a name test on the child or
+        # attribute axis needs no per-candidate dispatch through
+        # _test_matches.
+        name_test = (test if isinstance(test, ast.NameTest) else None)
         collected: list[Node] = []
         for item in items:
             if not isinstance(item, Node):
                 raise XQueryTypeError(
                     "axis step applied to an atomic value", code="XPTY0020")
-            candidates = _axis_nodes(item, step.axis)
-            matched = [node for node in candidates
-                       if _test_matches(step.test, node, step.axis)]
-            matched = self._filter_predicates(matched, step.predicates, ctx)
+            if name_test is not None and axis == "child":
+                matched = [node for node in item.children
+                           if node.kind == "element"
+                           and name_test.matches(node.name)]
+            elif name_test is not None and axis == "attribute":
+                matched = [node for node in item.attributes
+                           if name_test.matches(node.name)]
+            else:
+                matched = [node for node in _axis_nodes(item, axis)
+                           if _test_matches(test, node, axis)]
+            if step.predicates:
+                matched = self._filter_predicates(matched, step.predicates,
+                                                  ctx)
             collected.extend(matched)
+        if single and axis in _SORTED_SINGLE_AXES:
+            # One context node + an order-preserving axis: the result is
+            # already sorted and duplicate-free.
+            return collected
         return document_order(collected)
 
     def _apply_expr_step(self, step: ast.ExprStep,
@@ -659,6 +735,94 @@ def _predicate_truth(values: list[Item], position: int) -> bool:
     return effective_boolean_value(values)
 
 
+#: Predicate expression types that always produce a boolean (or empty)
+#: result — they can never be mistaken for a positional predicate.
+_BOOLEAN_PREDICATE_TYPES = (ast.GeneralComparison, ast.ValueComparison,
+                            ast.NodeComparison, ast.AndExpr, ast.OrExpr,
+                            ast.QuantifiedExpr)
+
+
+def _non_positional(predicate: ast.Expr) -> bool:
+    """Can ``predicate`` be applied to a merged node list instead of
+    per-context?  Requires a provably boolean result (no numeric
+    position shorthand) and no position()/last() anywhere inside."""
+    if not isinstance(predicate, _BOOLEAN_PREDICATE_TYPES):
+        return False
+    for obj in ast.walk(predicate):
+        if (isinstance(obj, ast.FunctionCall)
+                and obj.name.local in ("position", "last")):
+            return False
+    return True
+
+
+def _summary_step_test(step: ast.AxisStep):
+    """Translate an axis step's node test into a pattern StepTest, or
+    None when it has no summary-path equivalent."""
+    from ..core.patterns import StepTest
+    test = step.test
+    on_attribute = step.axis == "attribute"
+    if isinstance(test, ast.NameTest):
+        kind = "attribute" if on_attribute else "element"
+        return StepTest(kind, uri=test.uri, local=test.local)
+    if test.kind == "node":
+        return StepTest("attribute") if on_attribute else StepTest("node")
+    if on_attribute:
+        return None  # attribute::text() etc. select nothing
+    if test.kind in ("text", "comment"):
+        return StepTest(test.kind)
+    if test.kind == "processing-instruction":
+        return StepTest("processing-instruction", pi_target=test.target)
+    return None  # element()/attribute()/document-node(): generic path
+
+
+def _compile_summary_prefix(steps) -> tuple[list, int, list]:
+    """Compile a leading run of axis steps into linear-pattern steps.
+
+    Returns (pattern_steps, consumed_step_count, final_predicates).
+    ``descendant-or-self::node()`` folds into a gap on the next step;
+    predicates are only consumed on the *last* step of the prefix and
+    only when provably non-positional (their filter then commutes with
+    the per-document merge).
+    """
+    from ..core.patterns import PatternStep
+    pattern_steps: list = []
+    consumed = 0
+    gap = False
+    predicates: list = []
+    for step in steps:
+        if not isinstance(step, ast.AxisStep):
+            break
+        if (step.axis == "descendant-or-self"
+                and isinstance(step.test, ast.KindTest)
+                and step.test.kind == "node" and not step.predicates):
+            gap = True
+            consumed += 1
+            continue
+        if step.axis not in ("child", "attribute", "descendant"):
+            break
+        test = _summary_step_test(step)
+        if test is None:
+            break
+        if step.predicates and \
+                not all(_non_positional(predicate)
+                        for predicate in step.predicates):
+            break
+        pattern_steps.append(
+            PatternStep(test, gap=gap or step.axis == "descendant"))
+        gap = False
+        consumed += 1
+        if step.predicates:
+            predicates = step.predicates
+            break
+    if gap:
+        # A trailing descendant-or-self::node() selects nodes itself;
+        # leave it (and everything after) to the generic pipeline.
+        consumed -= 1
+    if not pattern_steps:
+        return [], 0, []
+    return pattern_steps, consumed, predicates
+
+
 def _axis_nodes(node: Node, axis: str) -> list[Node]:
     if axis == "child":
         return list(node.children)
@@ -691,6 +855,23 @@ def _axis_nodes(node: Node, axis: str) -> list[Node]:
         index = next(i for i, sibling in enumerate(siblings)
                      if sibling.is_same_node(node))
         return list(reversed(siblings[:index]))
+    if axis in ("following", "preceding"):
+        # Interval encoding: x follows c iff pre(x) > pre(c) and
+        # post(x) > post(c); x precedes c iff both are smaller.  For an
+        # attribute the spec anchors both axes at its parent element
+        # (following = ancestor-or-self/following-sibling/…).
+        anchor = node.parent if node.kind == "attribute" else node
+        if anchor is None:
+            return []
+        _tree, pre, post, _level = anchor.structure()
+        if axis == "following":
+            return [candidate for candidate
+                    in anchor.root.descendants_or_self()
+                    if candidate._order[1] > pre
+                    and candidate._post > post]
+        return list(reversed(
+            [candidate for candidate in anchor.root.descendants_or_self()
+             if candidate._order[1] < pre and candidate._post < post]))
     raise XQueryDynamicError(f"unsupported axis {axis!r}")
 
 

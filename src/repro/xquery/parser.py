@@ -14,6 +14,8 @@ raw XML-ish syntax, recursing into expression parsing for every
 
 from __future__ import annotations
 
+import functools
+
 from ..errors import XQueryStaticError
 from ..xdm import atomic
 from ..xdm.qname import DEFAULT_PREFIXES, FN_NS, QName
@@ -23,7 +25,7 @@ from .lexer import Lexer, Token, _resolve_entity
 _AXES = {
     "child", "descendant", "attribute", "self", "descendant-or-self",
     "parent", "ancestor", "ancestor-or-self", "following-sibling",
-    "preceding-sibling",
+    "preceding-sibling", "following", "preceding",
 }
 
 _KIND_TESTS = {"node", "text", "comment", "processing-instruction",
@@ -57,8 +59,13 @@ ATOMIC_TYPE_ALIASES = {
 }
 
 
+@functools.lru_cache(maxsize=256)
 def parse_xquery(source: str) -> ast.Module:
-    """Parse an XQuery main module (prolog + body expression)."""
+    """Parse an XQuery main module (prolog + body expression).
+
+    Memoized: modules are never mutated after parsing (rewrites build
+    fresh Module objects), so repeated queries share one parse.
+    """
     parser = _Parser(source)
     module = parser.parse_module()
     return module

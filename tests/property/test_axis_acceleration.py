@@ -1,0 +1,222 @@
+"""Property tests: interval-encoded axes vs naive recursive oracles.
+
+The ``(pre, post, level)`` encoding turns descendant/ancestor/following/
+preceding into interval tests and document-order sorting into a key
+sort.  These tests pit every accelerated axis against a dumb recursive
+walk on randomized trees — including after ``insert_child`` /
+``remove_child`` / ``remove_attribute`` mutations, which must invalidate
+the cached numbering (the stamp) rather than serve stale intervals.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.pathsummary import PathSummary, build_summary, get_summary
+from repro.xdm.nodes import (AttributeNode, DocumentNode, ElementNode,
+                             TextNode)
+from repro.xdm.qname import QName
+from repro.xdm.sequence import document_order
+from repro.xquery.evaluator import _axis_nodes
+
+TAGS = ("a", "b", "c")
+
+
+@st.composite
+def tree_specs(draw, depth=0):
+    """(tag, attr-count, children) nested tuples; ``None`` = text node."""
+    tag = draw(st.sampled_from(TAGS))
+    attr_count = draw(st.integers(min_value=0, max_value=2))
+    children = []
+    if depth < 3:
+        for _ in range(draw(st.integers(min_value=0, max_value=3))):
+            if draw(st.booleans()):
+                children.append(draw(tree_specs(depth=depth + 1)))
+            else:
+                children.append(None)
+    return (tag, attr_count, tuple(children))
+
+
+def build_element(spec) -> ElementNode:
+    tag, attr_count, children = spec
+    element = ElementNode(QName("", tag))
+    for i in range(attr_count):
+        element.add_attribute(AttributeNode(QName("", f"x{i}"), str(i)))
+    for child in children:
+        element.append_child(TextNode("t") if child is None
+                             else build_element(child))
+    return element
+
+
+def build_document(spec) -> DocumentNode:
+    document = DocumentNode()
+    document.append_child(build_element(spec))
+    return document
+
+
+# ---------------------------------------------------------------------------
+# Naive oracles: recursion and parent-chain walks only, no intervals.
+# ---------------------------------------------------------------------------
+
+def ordered_nodes(node):
+    """Document order incl. attributes (element, its attributes, children)."""
+    out = [node]
+    out.extend(node.attributes)
+    for child in node.children:
+        out.extend(ordered_nodes(child))
+    return out
+
+
+def oracle_descendants(node):
+    out = []
+    for child in node.children:
+        out.append(child)
+        out.extend(oracle_descendants(child))
+    return out
+
+
+def oracle_ancestors(node):
+    out = []
+    current = node.parent
+    while current is not None:
+        out.append(current)
+        current = current.parent
+    return out
+
+
+def oracle_siblings(node):
+    if node.parent is None or node.kind == "attribute":
+        return [], []
+    siblings = node.parent.children
+    index = next(i for i, sibling in enumerate(siblings)
+                 if sibling is node)
+    return list(reversed(siblings[:index])), siblings[index + 1:]
+
+
+def oracle_following(node):
+    """Nodes strictly after ``node`` in doc order, minus its subtree and
+    attributes (XPath's following axis)."""
+    tree = [n for n in ordered_nodes(node.root) if n.kind != "attribute"]
+    index = tree.index(node)
+    own = set(map(id, oracle_descendants(node)))
+    return [n for n in tree[index + 1:] if id(n) not in own]
+
+
+def oracle_preceding(node):
+    tree = [n for n in ordered_nodes(node.root) if n.kind != "attribute"]
+    index = tree.index(node)
+    ancestors = set(map(id, oracle_ancestors(node)))
+    return [n for n in reversed(tree[:index]) if id(n) not in ancestors]
+
+
+def ids(nodes):
+    return [id(n) for n in nodes]
+
+
+def assert_axes_match_oracles(document: DocumentNode) -> None:
+    everything = ordered_nodes(document)
+    tree_nodes = [n for n in everything if n.kind != "attribute"]
+    for node in everything:
+        assert ids(_axis_nodes(node, "descendant")) == \
+            ids(oracle_descendants(node))
+        assert ids(_axis_nodes(node, "ancestor")) == \
+            ids(oracle_ancestors(node))
+        preceding_sib, following_sib = oracle_siblings(node)
+        assert ids(_axis_nodes(node, "following-sibling")) == \
+            ids(following_sib)
+        assert ids(_axis_nodes(node, "preceding-sibling")) == \
+            ids(preceding_sib)
+        if node.kind == "attribute":
+            # The spec anchors an attribute's following/preceding at its
+            # parent element.
+            assert ids(_axis_nodes(node, "following")) == \
+                ids(oracle_following(node.parent))
+            assert ids(_axis_nodes(node, "preceding")) == \
+                ids(oracle_preceding(node.parent))
+        else:
+            assert ids(_axis_nodes(node, "following")) == \
+                ids(oracle_following(node))
+            assert ids(_axis_nodes(node, "preceding")) == \
+                ids(oracle_preceding(node))
+    # Interval containment tests agree with the parent-chain oracle.
+    for outer in tree_nodes:
+        ancestor_ids = set(ids(oracle_ancestors(outer)))
+        for inner in tree_nodes:
+            expected = id(inner) in ancestor_ids
+            assert inner.is_ancestor_of(outer) is expected
+            assert outer.is_descendant_of(inner) is expected
+
+
+def assert_order_sort_matches(document: DocumentNode, shuffled) -> None:
+    expected = [n for n in ordered_nodes(document)]
+    assert ids(document_order(shuffled)) == ids(expected)
+
+
+def assert_summary_fresh(document: DocumentNode) -> None:
+    """The registered summary equals one rebuilt from scratch."""
+    refreshed = get_summary(document, build=True)
+    fresh = PathSummary.build(document)
+    assert {path: ids(nodes) for path, nodes in refreshed.entries.items()} \
+        == {path: ids(nodes) for path, nodes in fresh.entries.items()}
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=200, deadline=None)
+@given(spec=tree_specs(), data=st.data())
+def test_axes_match_naive_oracle(spec, data):
+    document = build_document(spec)
+    assert_axes_match_oracles(document)
+    everything = ordered_nodes(document)
+    shuffled = data.draw(st.permutations(everything))
+    # Duplicates must collapse: document_order dedups by identity.
+    assert_order_sort_matches(document, list(shuffled) + shuffled[:3])
+
+
+@settings(max_examples=200, deadline=None)
+@given(spec=tree_specs(),
+       ops=st.lists(st.tuples(st.integers(0, 3), st.integers(0, 1000),
+                              st.integers(0, 1000)),
+                    min_size=1, max_size=4),
+       data=st.data())
+def test_axes_match_oracle_after_mutation(spec, ops, data):
+    document = build_document(spec)
+    build_summary(document)
+    # Force the numbering so mutations must *invalidate*, not just
+    # compute fresh.
+    document.structure()
+    assert_axes_match_oracles(document)
+
+    fresh_tag = iter(range(10_000))
+    for op, pick, position in ops:
+        elements = [n for n in ordered_nodes(document)
+                    if n.kind == "element"]
+        if op == 0:  # insert a new element under a random element
+            parent = elements[pick % len(elements)]
+            parent.insert_child(position % (len(parent.children) + 1),
+                                ElementNode(QName("", f"n{next(fresh_tag)}")))
+        elif op == 1:  # insert a text node
+            parent = elements[pick % len(elements)]
+            parent.insert_child(position % (len(parent.children) + 1),
+                                TextNode("m"))
+        elif op == 2:  # remove a child (keep the root element in place)
+            candidates = [n for n in elements if n.children]
+            if not candidates:
+                continue
+            parent = candidates[pick % len(candidates)]
+            parent.remove_child(parent.children[position
+                                                % len(parent.children)])
+        else:  # remove an attribute
+            candidates = [n for n in elements if n.attributes]
+            if not candidates:
+                continue
+            parent = candidates[pick % len(candidates)]
+            parent.remove_attribute(
+                parent.attributes[position % len(parent.attributes)])
+
+    assert_axes_match_oracles(document)
+    everything = ordered_nodes(document)
+    shuffled = data.draw(st.permutations(everything))
+    assert_order_sort_matches(document, list(shuffled))
+    assert_summary_fresh(document)

@@ -120,3 +120,81 @@ class TestCostBasedPlanning:
 def _doc_text(stored) -> str:
     from repro.xmlio import serialize
     return serialize(stored.document).replace('"', "'")
+
+
+class TestPathSummarySelectivity:
+    """Probe estimates consume real path-summary cardinalities."""
+
+    def make_db(self, with_lineitems: int, without: int) -> Database:
+        database = Database()
+        database.create_table("orders", [("orddoc", "XML")])
+        for value in range(with_lineitems):
+            database.insert("orders", {
+                "orddoc": f"<order><lineitem price='{value}'/></order>"})
+        for _ in range(without):
+            database.insert("orders", {
+                "orddoc": "<order><note>n</note></order>"})
+        # A structural index present in *every* document: the histogram
+        # alone sees no selectivity, only the path summary does.
+        database.create_xml_index("ord_idx", "orders", "orddoc",
+                                  "//order", "VARCHAR")
+        return database
+
+    def test_docs_with_path_and_cardinality(self):
+        database = self.make_db(10, 30)
+        assert database.docs_with_path(
+            "orders", "orddoc", "//order") == 40
+        assert database.docs_with_path(
+            "orders", "orddoc", "//order/lineitem") == 10
+        assert database.path_cardinality(
+            "orders", "orddoc", "//lineitem/@price") == 10
+
+    def test_summary_counts_change_probe_selectivity(self):
+        database = self.make_db(10, 30)
+        model = CostModel(prefilter_threshold=0.5)
+        index = database.xml_indexes["ord_idx"]
+
+        plain = model.estimate_probe(index, None, None, 40)
+        sparse = model.estimate_probe(
+            index, None, None, 40,
+            docs_with_path=database.docs_with_path(
+                "orders", "orddoc", "//order/lineitem"))
+        assert not plain.worthwhile
+        assert sparse.worthwhile
+        assert sparse.docs_fraction < plain.docs_fraction
+        assert "path summary caps coverage" in sparse.note
+
+        # Change the summary counts (more documents carry the path):
+        # the estimated selectivity must follow.
+        for value in range(20):
+            database.insert("orders", {
+                "orddoc": f"<order><lineitem price='{100 + value}'/>"
+                          f"</order>"})
+        denser = model.estimate_probe(
+            index, None, None, 60,
+            docs_with_path=database.docs_with_path(
+                "orders", "orddoc", "//order/lineitem"))
+        assert denser.docs_fraction > sparse.docs_fraction
+
+    def test_planner_consumes_summary_cardinalities(self):
+        """End to end: a probe kept only because the path summary shows
+        the query's (more restrictive) path is rare (§2.2 residual)."""
+        database = Database()
+        database.create_table("orders", [("orddoc", "XML")])
+        for value in range(35):
+            database.insert("orders", {
+                "orddoc": f"<order><lineitem price='{value}'/></order>"})
+        for value in range(5):
+            database.insert("orders", {
+                "orddoc": f"<order><special><lineitem price='{value}'/>"
+                          f"</special></order>"})
+        database.create_xml_index("li_price", "orders", "orddoc",
+                                  "//lineitem/@price", "DOUBLE")
+        query = ("db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+                 "//order/special/lineitem[@price >= 0]")
+        result = database.xquery(query, cost_based=True,
+                                 prefilter_threshold=0.5)
+        assert result.stats.indexes_used == ["li_price"]
+        assert any("path summary caps coverage" in note
+                   for note in result.stats.plan_notes)
+        assert len(result.items) == 5
