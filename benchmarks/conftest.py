@@ -9,7 +9,9 @@ pitfall benchmarks need.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import time
 
 import pytest
 
@@ -90,12 +92,74 @@ def _median_seconds(bench) -> float | None:
     return median
 
 
+def _calibration_seconds() -> float:
+    """Best-of-N timing of a fixed pure-Python workload, in seconds.
+
+    Benchmarks run on whatever machine CI hands out; absolute medians
+    drift with host speed.  This number measures the *host*, not the
+    engine, so a regression check can normalise a fresh run against a
+    committed baseline (fresh_median / (calibration ratio)).  The
+    minimum over many repeats is used because it is the least noisy
+    estimator of raw host speed — any scheduling or frequency-scaling
+    hiccup only ever makes a sample *slower*.
+    """
+    def workload() -> int:
+        total = 0
+        for value in range(200_000):
+            total += value * value % 7
+        return total
+
+    workload()  # warm-up
+    samples = []
+    for _ in range(11):
+        start = time.perf_counter()
+        workload()
+        samples.append(time.perf_counter() - start)
+    return min(samples)
+
+
+def _metrics_snapshot() -> dict:
+    """Engine counters for one eligible + one ineligible paper query.
+
+    Built on a tiny dedicated database (orders=50) so the snapshot is
+    cheap and deterministic in shape: the eligible query must show
+    index probes and few docs scanned; the wildcard query must show the
+    §3.1 full-scan cliff.  Stored in BENCH_results.json so a timing
+    regression can be cross-checked against *work done* — a median that
+    moved while the counters stayed flat is host noise, not the engine.
+    """
+    from repro.obs.metrics import enabled_metrics
+
+    database = build_db(orders=50)
+    eligible = ("for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+                f"//order[lineitem/@price>{PRICE_BOUND}] return $i")
+    wildcard = ("for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+                f"//order[lineitem/@*>{PRICE_BOUND}] return $i")
+    snapshot = {}
+    for label, query in (("eligible", eligible), ("ineligible", wildcard)):
+        with enabled_metrics() as metrics:
+            database.xquery(query)
+            counters = metrics.snapshot()["counters"]
+        snapshot[label] = {
+            key: counters.get(key, 0)
+            for key in ("index.probes", "index.entries_scanned",
+                        "docs.scanned", "pathsummary.hits",
+                        "queries.xquery")}
+    return snapshot
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Write machine-readable medians to benchmarks/BENCH_results.json.
 
     One entry per benchmark, keyed ``module::test``, with the median
     wall time in seconds — the number EXPERIMENTS.md quotes and CI can
-    diff without parsing pytest-benchmark's table output.
+    diff without parsing pytest-benchmark's table output.  The payload
+    also records ``calibration_seconds`` (host-speed probe) and
+    ``metrics_snapshot`` (engine work counters) so
+    ``scripts/check_regression.py`` can separate engine regressions
+    from host variance.  Set ``BENCH_RESULTS_PATH`` to redirect the
+    output (CI writes fresh results next to, not over, the committed
+    baseline).
     """
     bench_session = getattr(session.config, "_benchmarksession", None)
     if bench_session is None or not bench_session.benchmarks:
@@ -116,6 +180,13 @@ def pytest_sessionfinish(session, exitstatus):
         results[bench.fullname] = entry
     if not results:
         return
-    out_path = pathlib.Path(__file__).with_name("BENCH_results.json")
-    payload = {"scale_orders": SCALE, "benchmarks": results}
+    out_path = pathlib.Path(
+        os.environ.get("BENCH_RESULTS_PATH")
+        or pathlib.Path(__file__).with_name("BENCH_results.json"))
+    payload = {
+        "scale_orders": SCALE,
+        "calibration_seconds": _calibration_seconds(),
+        "metrics_snapshot": _metrics_snapshot(),
+        "benchmarks": results,
+    }
     out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

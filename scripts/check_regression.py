@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Compare a fresh BENCH_results.json against the committed baseline.
+
+Usage:
+
+    python scripts/check_regression.py \
+        --baseline benchmarks/BENCH_results.json \
+        --fresh /tmp/BENCH_fresh.json \
+        [--tolerance 0.10] [--no-calibrate]
+
+For every benchmark present in both files, fail (exit 1) when
+
+    fresh_median > baseline_median * scale * (1 + tolerance)
+
+where ``scale`` is the host-speed ratio
+``fresh_calibration / baseline_calibration`` (1.0 when either file
+lacks ``calibration_seconds`` or ``--no-calibrate`` is given).  The
+calibration workload is pure Python with a fixed input, so the ratio
+tracks how much slower/faster the current host is than the one that
+produced the baseline — without it, CI machine variance would trip the
+gate on unchanged code.
+
+Benchmarks only in one file are reported but never fail the check
+(benchmarks get added and removed across PRs).
+
+``--against seed`` switches the reference from the baseline file's
+medians to the *seed-implementation* medians recorded inside the fresh
+file itself (``seed_median_seconds``, the pre-acceleration evaluator's
+timings).  That is the CI smoke gate: the current engine runs those
+queries several times faster than the seed did, so host variance
+cannot trip it, but an instrumentation change that destroyed the win
+would.  Calibration is skipped in seed mode (the seed host is
+unknown).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load(path: str) -> dict:
+    return json.loads(pathlib.Path(path).read_text())
+
+
+def check_against_seed(fresh: dict, tolerance: float) -> int:
+    """Fail when any benchmark is slower than its recorded seed median."""
+    checked = 0
+    regressions = []
+    for name, entry in sorted(fresh.get("benchmarks", {}).items()):
+        seed_median = entry.get("seed_median_seconds")
+        fresh_median = entry.get("median_seconds")
+        if not seed_median or not fresh_median:
+            continue
+        checked += 1
+        ratio = fresh_median / seed_median
+        status = "REGRESSION" if ratio > 1.0 + tolerance else "ok"
+        print(f"{status:>10}  {ratio:5.2f}x of seed  {name}")
+        if ratio > 1.0 + tolerance:
+            regressions.append((name, ratio))
+    if not checked:
+        print("no benchmarks carry seed_median_seconds; nothing checked",
+              file=sys.stderr)
+        return 1
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) slower than the seed "
+              f"implementation by more than {tolerance:.0%}:",
+              file=sys.stderr)
+        for name, ratio in regressions:
+            print(f"  {ratio:5.2f}x  {name}", file=sys.stderr)
+        return 1
+    print(f"\nall {checked} seed-tracked benchmarks within "
+          f"{tolerance:.0%} of their seed medians")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_results.json")
+    parser.add_argument("--fresh", required=True,
+                        help="freshly produced BENCH_results.json")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional slowdown (default 0.10)")
+    parser.add_argument("--no-calibrate", action="store_true",
+                        help="skip host-speed normalisation")
+    parser.add_argument("--against", choices=("baseline", "seed"),
+                        default="baseline",
+                        help="reference medians: the baseline file, or "
+                             "the seed_median_seconds recorded in the "
+                             "fresh file (CI smoke gate)")
+    args = parser.parse_args(argv)
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+
+    if args.against == "seed":
+        return check_against_seed(fresh, args.tolerance)
+
+    scale = 1.0
+    if not args.no_calibrate:
+        base_cal = baseline.get("calibration_seconds")
+        fresh_cal = fresh.get("calibration_seconds")
+        if base_cal and fresh_cal:
+            scale = fresh_cal / base_cal
+            print(f"host calibration: baseline {base_cal:.4f}s, "
+                  f"fresh {fresh_cal:.4f}s, scale {scale:.2f}x")
+        else:
+            print("calibration missing in one file; comparing raw medians")
+
+    base_benches = baseline.get("benchmarks", {})
+    fresh_benches = fresh.get("benchmarks", {})
+    shared = sorted(set(base_benches) & set(fresh_benches))
+    only_base = sorted(set(base_benches) - set(fresh_benches))
+    only_fresh = sorted(set(fresh_benches) - set(base_benches))
+    for name in only_base:
+        print(f"note: baseline-only benchmark skipped: {name}")
+    for name in only_fresh:
+        print(f"note: new benchmark (no baseline): {name}")
+
+    regressions = []
+    for name in shared:
+        base_median = base_benches[name].get("median_seconds")
+        fresh_median = fresh_benches[name].get("median_seconds")
+        if not base_median or not fresh_median:
+            continue
+        allowed = base_median * scale * (1.0 + args.tolerance)
+        ratio = fresh_median / (base_median * scale)
+        status = "REGRESSION" if fresh_median > allowed else "ok"
+        print(f"{status:>10}  {ratio:5.2f}x  {name}")
+        if fresh_median > allowed:
+            regressions.append((name, ratio))
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed beyond "
+              f"{args.tolerance:.0%} (host-scaled):", file=sys.stderr)
+        for name, ratio in regressions:
+            print(f"  {ratio:5.2f}x  {name}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(shared)} shared benchmarks within "
+          f"{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

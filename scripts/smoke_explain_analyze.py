@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""CI smoke test for EXPLAIN ANALYZE.
+
+Builds the paper's schema, runs one index-eligible query and one
+ineligible (wildcard) query through ``explain_analyze``, and asserts
+the structural facts the paper's §3.1 cliff rests on:
+
+* the eligible query probes an index and scans few documents;
+* the wildcard query probes nothing and scans the whole collection;
+* both traces validate against the trace schema and every operator
+  reports a non-negative wall time.
+
+Exits non-zero (with a message) on any violation.  Run as:
+
+    PYTHONPATH=src python scripts/smoke_explain_analyze.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import Database
+from repro.obs.trace import validate_trace
+from repro.workload import populate_paper_schema
+
+ELIGIBLE = ("for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+            "//order[lineitem/@price>190] return $i")
+INELIGIBLE = ("for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+              "//order[lineitem/@*>190] return $i")
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def check_common(analyzed, label: str) -> None:
+    problems = validate_trace(analyzed.tracer.to_dict())
+    if problems:
+        fail(f"{label}: trace does not validate: {problems}")
+
+    def walk(node):
+        if node.time_ms < 0:
+            fail(f"{label}: operator {node.name} has negative time")
+        for child in node.children:
+            walk(child)
+
+    walk(analyzed.root)
+    if analyzed.root.actual_rows != len(analyzed):
+        fail(f"{label}: root actual_rows {analyzed.root.actual_rows} "
+             f"!= result count {len(analyzed)}")
+
+
+def main() -> int:
+    database = Database()
+    populate_paper_schema(database, orders=60, customers=10, products=20,
+                          seed=7, with_indexes=True)
+    total_docs = len(database.xmlcolumn("ORDERS.ORDDOC"))
+
+    eligible = database.explain_analyze(ELIGIBLE)
+    check_common(eligible, "eligible")
+    if not eligible.operators("index-scan"):
+        fail("eligible query did not use an index")
+    residual = eligible.operators("residual-eval")[0]
+    if residual.attrs["docs_scanned"] >= total_docs:
+        fail("eligible query scanned the whole collection "
+             f"({residual.attrs['docs_scanned']}/{total_docs})")
+
+    ineligible = database.explain_analyze(INELIGIBLE)
+    check_common(ineligible, "ineligible")
+    if ineligible.operators("index-scan"):
+        fail("wildcard query must not use the typed index "
+             "(paper §3.1: '@*' is ineligible)")
+    residual = ineligible.operators("residual-eval")[0]
+    if residual.attrs["docs_scanned"] != total_docs:
+        fail("wildcard query should scan every document "
+             f"({residual.attrs['docs_scanned']}/{total_docs})")
+
+    print("smoke ok: eligible query used "
+          f"{eligible.operators('index-scan')[0].attrs['index']}, "
+          f"scanned {eligible.operators('residual-eval')[0].attrs['docs_scanned']}"
+          f"/{total_docs} docs; wildcard scanned {total_docs}/{total_docs}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,11 +17,15 @@ Examples::
         "db2-fn:xmlcolumn('DOCS.DOC')//title"
     python -m repro explain --load ./feeds \\
         "db2-fn:xmlcolumn('DOCS.DOC')//item[title = 'x']"
+    python -m repro query --load ./feeds --explain-analyze \\
+        --metrics --trace trace.json \\
+        "db2-fn:xmlcolumn('DOCS.DOC')//item[title = 'x']"
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import pathlib
 import sys
 
@@ -59,6 +63,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="disable index usage at run time")
         sub.add_argument("--indent", action="store_true",
                          help="pretty-print XML results")
+        if name in ("query", "sql"):
+            sub.add_argument("--explain-analyze", action="store_true",
+                             help="execute and print the operator tree "
+                                  "with actual cardinalities and "
+                                  "timings")
+            sub.add_argument("--metrics", action="store_true",
+                             help="print engine metric counters after "
+                                  "the statement")
+            sub.add_argument("--trace", metavar="FILE", default=None,
+                             help="write the span trace as JSON to "
+                                  "FILE ('-' for stdout)")
         if name != "describe":
             sub.add_argument("statement", help="the query text")
     return parser
@@ -128,21 +143,54 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
         for item in items:
             print(str(item), file=out)
         return 0
-    if arguments.command == "sql":
-        result = database.sql(arguments.statement,
-                              use_indexes=not arguments.no_indexes)
-        print("\t".join(result.columns), file=out)
-        for row in result.serialize_rows():
-            print("\t".join("NULL" if value is None else str(value)
-                            for value in row), file=out)
-        print(result.stats.explain(), file=out)
-        return 0
-    result = database.xquery(arguments.statement,
-                             use_indexes=not arguments.no_indexes)
-    for item in result.items:
-        print(serialize(item, indent=arguments.indent), file=out)
-    print(result.stats.explain(), file=out)
+    from .obs.metrics import METRICS, enabled_metrics
+    from .obs.trace import Tracer
+
+    use_indexes = not arguments.no_indexes
+    with contextlib.ExitStack() as stack:
+        if arguments.metrics:
+            stack.enter_context(enabled_metrics())
+
+        if arguments.explain_analyze:
+            analyzed = database.explain_analyze(arguments.statement,
+                                                use_indexes=use_indexes)
+            print(analyzed.render(), file=out)
+            _write_trace(analyzed.tracer, arguments.trace, out)
+        elif arguments.command == "sql":
+            tracer = (Tracer(arguments.statement, "sql")
+                      if arguments.trace else None)
+            result = database.sql(arguments.statement,
+                                  use_indexes=use_indexes, tracer=tracer)
+            print("\t".join(result.columns), file=out)
+            for row in result.serialize_rows():
+                print("\t".join("NULL" if value is None else str(value)
+                                for value in row), file=out)
+            print(result.stats.explain(), file=out)
+            _write_trace(tracer, arguments.trace, out)
+        else:
+            tracer = (Tracer(arguments.statement, "xquery")
+                      if arguments.trace else None)
+            result = database.xquery(arguments.statement,
+                                     use_indexes=use_indexes,
+                                     tracer=tracer)
+            for item in result.items:
+                print(serialize(item, indent=arguments.indent), file=out)
+            print(result.stats.explain(), file=out)
+            _write_trace(tracer, arguments.trace, out)
+
+        if arguments.metrics:
+            print(METRICS.render(), file=out)
     return 0
+
+
+def _write_trace(tracer, destination: str | None, out) -> None:
+    if tracer is None or destination is None:
+        return
+    payload = tracer.to_json()
+    if destination == "-":
+        print(payload, file=out)
+    else:
+        pathlib.Path(destination).write_text(payload + "\n")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -7,12 +7,23 @@ text (modules are never mutated after parse; rewrites construct new
 Modules), so both are computed once per text and shared by
 ``xquery.evaluate``, the planner (:mod:`repro.planner.plan`), the SQL
 executor's embedded-body cache, and the CLI.
+
+The cache is shared process state, so all OrderedDict mutation and the
+hit/miss counters sit behind one :data:`_lock`.  Parsing happens
+*outside* the lock: it is pure and comparatively slow, so two threads
+racing on the same new text may both parse it, but only one entry wins
+a slot — correctness over de-duplication.  Lock ordering: this lock is
+taken first and :data:`repro.obs.metrics.METRICS`'s lock second, never
+the reverse.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+
+from ..obs.metrics import METRICS
 
 from ..xquery import ast
 from ..xquery.parser import parse_xquery
@@ -39,6 +50,7 @@ class CacheInfo:
 
 
 _MAXSIZE = 256
+_lock = threading.Lock()
 _cache: "OrderedDict[str, CompiledQuery]" = OrderedDict()
 _hits = 0
 _misses = 0
@@ -48,27 +60,41 @@ def compile_query(source: str) -> CompiledQuery:
     """Parse ``source`` and extract its predicate candidates, memoized
     with LRU eviction."""
     global _hits, _misses
-    entry = _cache.get(source)
-    if entry is not None:
-        _cache.move_to_end(source)
-        _hits += 1
-        return entry
-    _misses += 1
+    with _lock:
+        entry = _cache.get(source)
+        if entry is not None:
+            _cache.move_to_end(source)
+            _hits += 1
+            if METRICS.enabled:
+                METRICS.inc("querycache.hits")
+            return entry
     module = parse_xquery(source)
     from .predicates import extract_candidates
     entry = CompiledQuery(source, module, tuple(extract_candidates(module)))
-    _cache[source] = entry
-    if len(_cache) > _MAXSIZE:
-        _cache.popitem(last=False)
+    with _lock:
+        _misses += 1
+        if METRICS.enabled:
+            METRICS.inc("querycache.misses")
+        racing = _cache.get(source)
+        if racing is not None:
+            _cache.move_to_end(source)
+            return racing
+        _cache[source] = entry
+        if len(_cache) > _MAXSIZE:
+            _cache.popitem(last=False)
+            if METRICS.enabled:
+                METRICS.inc("querycache.evictions")
     return entry
 
 
 def cache_info() -> CacheInfo:
-    return CacheInfo(_hits, _misses, len(_cache), _MAXSIZE)
+    with _lock:
+        return CacheInfo(_hits, _misses, len(_cache), _MAXSIZE)
 
 
 def clear_cache() -> None:
     global _hits, _misses
-    _cache.clear()
-    _hits = 0
-    _misses = 0
+    with _lock:
+        _cache.clear()
+        _hits = 0
+        _misses = 0

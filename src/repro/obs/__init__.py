@@ -1,0 +1,37 @@
+"""Engine-wide observability: metrics, tracing, EXPLAIN ANALYZE.
+
+The paper's argument is built on *observing* the performance cliff
+between index-eligible and ineligible queries (§2.2, §3.1–3.10).  This
+package supplies the runtime evidence:
+
+* :mod:`repro.obs.metrics` — a process-wide registry of counters,
+  gauges and histograms (index probes, B+Tree node visits,
+  path-summary hits, query-cache hit ratio, documents scanned).
+  Disabled by default; every instrumented call site in the engine is
+  guarded so the disabled cost is one attribute load and a branch.
+* :mod:`repro.obs.trace` — span-based structured tracing with nested
+  per-stage timings (parse → plan → index probe → residual predicate →
+  serialize), emitted as JSON.
+* :mod:`repro.obs.explain` — EXPLAIN ANALYZE: execute the plan and
+  annotate each operator with its actual cardinality, actual time, and
+  estimated-vs-actual error, making planner misestimates (e.g. the
+  path-summary coverage caps) visible.
+"""
+
+from .metrics import METRICS, MetricsRegistry, enabled_metrics
+from .trace import Span, Tracer, validate_trace
+
+__all__ = [
+    "METRICS", "MetricsRegistry", "enabled_metrics",
+    "Span", "Tracer", "validate_trace",
+    "explain_analyze",
+]
+
+
+def __getattr__(name: str):
+    # explain imports the planner; load lazily to keep obs import-light
+    # (storage modules import obs.metrics at module import time).
+    if name == "explain_analyze":
+        from .explain import explain_analyze
+        return explain_analyze
+    raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")

@@ -130,7 +130,11 @@ class CostModel:
                 coverage = path_coverage
                 summary_note = (f", path summary caps coverage at "
                                 f"{path_coverage:.2f}")
-        docs_fraction = min(1.0, coverage * key_fraction *
+        # The entries-per-document factor widens the estimate when
+        # documents hold several entries, but survivors are still a
+        # subset of the covered documents — never exceed ``coverage``.
+        docs_fraction = min(1.0, coverage,
+                            coverage * key_fraction *
                             max(1.0, len(index) / max(1, docs_in_index)))
         worthwhile = docs_fraction <= self.prefilter_threshold
         note = (f"estimated surviving fraction "

@@ -21,12 +21,14 @@ performance cliff every pitfall in Section 3 produces.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from ..core.between import detect_between
 from ..core.eligibility import analyze_candidates, check_index
 from ..core.predicates import PredicateCandidate, extract_candidates
-from ..core.querycache import compile_query
+from ..core.querycache import cache_info, compile_query
+from ..obs.metrics import METRICS
 from ..xdm.sequence import Item
 from ..xquery.evaluator import evaluate_module
 from .stats import ExecutionStats
@@ -70,6 +72,13 @@ class _Probe:
             self.low, self.high, self.low_inclusive, self.high_inclusive,
             path_filter=self.path_filter, stats=stats)
 
+    def bounds_text(self) -> str:
+        low = "-inf" if self.low is None else repr(self.low)
+        high = "+inf" if self.high is None else repr(self.high)
+        open_bracket = "[" if self.low_inclusive else "("
+        close_bracket = "]" if self.high_inclusive else ")"
+        return f"{open_bracket}{low}, {high}{close_bracket}"
+
 
 def _bounds_for(candidate: PredicateCandidate, index) -> _Probe | None:
     """Translate an eligible predicate into B+Tree scan bounds."""
@@ -111,19 +120,43 @@ class ColumnPrefilter:
     fixed_sets: list[set[int]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
 
-    def run(self, stats: ExecutionStats) -> set[int]:
+    def run(self, stats: ExecutionStats, tracer=None,
+            estimator=None) -> set[int]:
         result: set[int] | None = None
         for probe in self.conjunct_probes:
-            docs = probe.run(stats)
+            docs = self._run_probe(probe, stats, tracer, estimator,
+                                   "conjunct")
             result = docs if result is None else (result & docs)
         for group in self.disjunction_probes:
             union: set[int] = set()
             for probe in group:
-                union |= probe.run(stats)
+                union |= self._run_probe(probe, stats, tracer, estimator,
+                                         "disjunct")
             result = union if result is None else (result & union)
         for fixed in self.fixed_sets:
+            if tracer is not None:
+                with tracer.span("semi-join", column=self.column) as span:
+                    span.set(actual_rows=len(fixed), unit="documents")
             result = set(fixed) if result is None else (result & fixed)
         return result if result is not None else set()
+
+    def _run_probe(self, probe: _Probe, stats: ExecutionStats, tracer,
+                   estimator, role: str) -> set[int]:
+        if tracer is None:
+            return probe.run(stats)
+        with tracer.span("index-scan", index=probe.index.name,
+                         column=self.column, role=role,
+                         range=probe.bounds_text()) as span:
+            entries_before = stats.index_entries_scanned
+            docs = probe.run(stats)
+            span.set(actual_rows=len(docs), unit="documents",
+                     entries_scanned=(stats.index_entries_scanned -
+                                      entries_before))
+            if estimator is not None:
+                estimate_attrs = estimator(self.column, probe)
+                if estimate_attrs:
+                    span.set(**estimate_attrs)
+        return docs
 
 
 def plan_prefilters(database, candidates: list[PredicateCandidate],
@@ -314,6 +347,9 @@ def _keyed_docs(index, path_filter, stats: ExecutionStats
         result.setdefault(key, set()).add(entry.doc_id)
     stats.index_entries_scanned += scanned
     stats.record_index_use(index.name)
+    if METRICS.enabled:
+        METRICS.inc("index.probes")
+        METRICS.inc("index.entries_scanned", scanned)
     return result
 
 
@@ -340,17 +376,56 @@ class PrefilteredDatabase:
                        if stored.doc_id in allowed]
         if stats is not None:
             stats.docs_scanned += len(stored_docs)
+        if METRICS.enabled:
+            METRICS.inc("docs.scanned", len(stored_docs))
         return [stored.document for stored in stored_docs]
 
     def __getattr__(self, name):
         return getattr(self._database, name)
 
 
+def _make_probe_estimator(database):
+    """Span-attribute estimator for EXPLAIN ANALYZE (traced runs only).
+
+    Returns ``estimate(column, probe) -> dict`` producing the
+    ``estimated_rows`` attribute (histogram selectivity capped by
+    path-summary document coverage) plus supporting attrs.  Plain
+    executions never construct this, so they never pay for histograms.
+    """
+    from .cost import CostModel
+    model = CostModel()
+
+    def estimate(column: str, probe: _Probe) -> dict:
+        table, _sep, column_name = column.partition(".")
+        try:
+            total_docs = len(database.documents(table, column_name))
+        except Exception:
+            return {}
+        docs_with_path = None
+        if probe.path_filter is not None:
+            try:
+                docs_with_path = database.docs_with_path(
+                    table, column_name, probe.path_filter)
+            except Exception:
+                docs_with_path = None
+        probe_estimate = model.estimate_probe(
+            probe.index, probe.low, probe.high, total_docs,
+            docs_with_path=docs_with_path)
+        attrs = {"estimated_rows":
+                 round(probe_estimate.docs_fraction * total_docs, 2)}
+        if docs_with_path is not None:
+            attrs["summary_cap_docs"] = docs_with_path
+        return attrs
+
+    return estimate
+
+
 def execute_xquery(database, query: str,
                    use_indexes: bool = True,
                    cost_based: bool = False,
                    prefilter_threshold: float = 0.9,
-                   rewrite_views: bool = False) -> QueryResult:
+                   rewrite_views: bool = False,
+                   tracer=None) -> QueryResult:
     """Plan and run a standalone XQuery.
 
     ``cost_based=True`` enables the selectivity cost model (see
@@ -362,9 +437,23 @@ def execute_xquery(database, query: str,
     before planning (see :mod:`repro.core.rewriter`); when the rewrite
     is blocked by a hazard the original query runs and the hazards are
     recorded in the plan notes.
+
+    ``tracer`` (a :class:`repro.obs.trace.Tracer`) records per-stage
+    spans — parse, plan, index-probe/index-scan, residual-eval — used
+    by ``--trace`` and EXPLAIN ANALYZE.  ``None`` (the default) skips
+    all span bookkeeping.
     """
+    started = time.perf_counter() if METRICS.enabled else 0.0
     stats = ExecutionStats()
-    compiled = compile_query(query)
+    if tracer is not None:
+        hits_before = cache_info().hits
+        with tracer.span("parse") as span:
+            compiled = compile_query(query)
+            span.set(cache=("hit" if cache_info().hits > hits_before
+                            else "miss"),
+                     candidates=len(compiled.candidates))
+    else:
+        compiled = compile_query(query)
     module = compiled.module
     candidates = list(compiled.candidates)
     if rewrite_views:
@@ -383,12 +472,28 @@ def execute_xquery(database, query: str,
         if cost_based:
             from .cost import CostModel
             cost_model = CostModel(prefilter_threshold=prefilter_threshold)
-        prefilters = plan_prefilters(database, candidates, stats,
-                                     cost_model=cost_model)
+        if tracer is not None:
+            with tracer.span("plan") as span:
+                prefilters = plan_prefilters(database, candidates, stats,
+                                             cost_model=cost_model)
+                span.set(prefilter_columns=len(prefilters),
+                         cost_based=cost_based)
+        else:
+            prefilters = plan_prefilters(database, candidates, stats,
+                                         cost_model=cost_model)
         if prefilters:
+            estimator = (_make_probe_estimator(database)
+                         if tracer is not None else None)
             doc_filters: dict[str, set[int]] = {}
             for column, prefilter in prefilters.items():
-                doc_filters[column] = prefilter.run(stats)
+                if tracer is not None:
+                    with tracer.span("index-probe", column=column) as span:
+                        docs = prefilter.run(stats, tracer=tracer,
+                                             estimator=estimator)
+                        span.set(actual_rows=len(docs), unit="documents")
+                else:
+                    docs = prefilter.run(stats)
+                doc_filters[column] = docs
                 for note in prefilter.notes:
                     stats.note(note)
                 stats.note(
@@ -399,7 +504,19 @@ def execute_xquery(database, query: str,
             stats.note("no eligible index: full collection scan")
     else:
         stats.note("indexes disabled: full collection scan")
-    items = evaluate_module(module, database=runtime_db, stats=stats)
+    if tracer is not None:
+        docs_before = stats.docs_scanned
+        with tracer.span("residual-eval") as span:
+            items = evaluate_module(module, database=runtime_db,
+                                    stats=stats)
+            span.set(actual_rows=len(items), unit="items",
+                     docs_scanned=stats.docs_scanned - docs_before,
+                     summary_lookups=stats.summary_lookups)
+    else:
+        items = evaluate_module(module, database=runtime_db, stats=stats)
+    if METRICS.enabled:
+        METRICS.inc("queries.xquery")
+        METRICS.observe("query.seconds", time.perf_counter() - started)
     return QueryResult(items, stats)
 
 

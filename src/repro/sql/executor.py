@@ -27,12 +27,14 @@ Access paths (``use_indexes=True``):
 from __future__ import annotations
 
 import datetime as _dt
+import time
 from dataclasses import dataclass, field
 from decimal import Decimal
 
 from ..core.eligibility import check_index
 from ..core.predicates import Origin, PredicateCandidate
 from ..errors import SQLCastError, SQLError
+from ..obs.metrics import METRICS
 from ..planner.plan import PrefilteredDatabase, plan_prefilters
 from ..planner.stats import ExecutionStats
 from ..xdm import atomic
@@ -95,11 +97,22 @@ class _Plan:
 
 
 def execute_sql(database, statement_text: str,
-                use_indexes: bool = True) -> SQLResult:
+                use_indexes: bool = True, tracer=None) -> SQLResult:
     from .parser import parse_statement
-    statement = parse_statement(statement_text)
-    executor = _SQLExecutor(database, use_indexes)
-    return executor.run(statement)
+    started = time.perf_counter() if METRICS.enabled else 0.0
+    if tracer is not None:
+        with tracer.span("parse") as span:
+            statement = parse_statement(statement_text)
+            span.set(kind=type(statement).__name__)
+    else:
+        statement = parse_statement(statement_text)
+    executor = _SQLExecutor(database, use_indexes, tracer=tracer)
+    result = executor.run(statement)
+    if METRICS.enabled:
+        METRICS.inc("queries.sql")
+        METRICS.inc("rows.scanned", result.stats.rows_scanned)
+        METRICS.observe("query.seconds", time.perf_counter() - started)
+    return result
 
 
 def explain_sql(database, statement_text: str) -> str:
@@ -140,10 +153,11 @@ def explain_sql(database, statement_text: str) -> str:
 
 
 class _SQLExecutor:
-    def __init__(self, database, use_indexes: bool):
+    def __init__(self, database, use_indexes: bool, tracer=None):
         self.database = database
         self.use_indexes = use_indexes
         self.stats = ExecutionStats()
+        self.tracer = tracer
         self._body_cache: dict[str, tuple[object, object]] = {}
 
     # ------------------------------------------------------------------
@@ -213,11 +227,28 @@ class _SQLExecutor:
 
     def _run_select(self, statement: ast.SelectStmt) -> SQLResult:
         aliases = alias_table_map(statement)
-        plan = self._plan(statement, aliases) if self.use_indexes else _Plan()
+        if self.tracer is not None:
+            with self.tracer.span("plan") as span:
+                plan = (self._plan(statement, aliases)
+                        if self.use_indexes else _Plan())
+                span.set(doc_filters=len(plan.doc_filters),
+                         row_filters=len(plan.row_filters),
+                         join_probes=len(plan.join_probes))
+        else:
+            plan = (self._plan(statement, aliases)
+                    if self.use_indexes else _Plan())
 
         from_refs = self._order_joins(statement.from_refs, plan)
         envs: list[dict] = []
-        self._join([], from_refs, statement, plan, {}, envs)
+        if self.tracer is not None:
+            rows_before = self.stats.rows_scanned
+            with self.tracer.span("join-scan") as span:
+                self._join([], from_refs, statement, plan, {}, envs)
+                span.set(actual_rows=len(envs), unit="rows",
+                         rows_scanned=(self.stats.rows_scanned -
+                                       rows_before))
+        else:
+            self._join([], from_refs, statement, plan, {}, envs)
 
         columns = [self._column_name(item, position)
                    for position, item in enumerate(statement.items, 1)]
@@ -234,10 +265,16 @@ class _SQLExecutor:
                 return keys
             envs.sort(key=sort_key)
 
-        rows = []
-        for env in envs:
-            rows.append(tuple(self.eval_expr(item.expr, env)
-                              for item in statement.items))
+        if self.tracer is not None:
+            with self.tracer.span("project") as span:
+                rows = [tuple(self.eval_expr(item.expr, env)
+                              for item in statement.items)
+                        for env in envs]
+                span.set(actual_rows=len(rows), unit="rows")
+        else:
+            rows = [tuple(self.eval_expr(item.expr, env)
+                          for item in statement.items)
+                    for env in envs]
         return SQLResult(columns, rows, self.stats)
 
     # ------------------------------------------------------------------
@@ -492,6 +529,12 @@ class _SQLExecutor:
         probe = _bounds_for(candidate, index)
         if probe is None:
             return None
+        if self.tracer is not None:
+            with self.tracer.span("index-scan", index=index.name,
+                                  range=probe.bounds_text()) as span:
+                docs = probe.run(self.stats)
+                span.set(actual_rows=len(docs), unit="documents")
+            return docs
         return probe.run(self.stats)
 
     def _plan_relational(self, comparison: ast.Comparison,
@@ -869,9 +912,23 @@ class _SQLExecutor:
                 prefilters = plan_prefilters(self.database, candidates,
                                              self.stats)
                 if prefilters:
+                    estimator = None
+                    if self.tracer is not None:
+                        from ..planner.plan import _make_probe_estimator
+                        estimator = _make_probe_estimator(self.database)
                     doc_filters = {}
                     for column, prefilter in prefilters.items():
-                        doc_filters[column] = prefilter.run(self.stats)
+                        if self.tracer is not None:
+                            with self.tracer.span("index-probe",
+                                                  column=column) as span:
+                                docs = prefilter.run(
+                                    self.stats, tracer=self.tracer,
+                                    estimator=estimator)
+                                span.set(actual_rows=len(docs),
+                                         unit="documents")
+                        else:
+                            docs = prefilter.run(self.stats)
+                        doc_filters[column] = docs
                         for note in prefilter.notes:
                             self.stats.note(note)
                     runtime_db = PrefilteredDatabase(self.database,

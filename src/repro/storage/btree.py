@@ -16,6 +16,8 @@ from __future__ import annotations
 import bisect
 from typing import Any, Iterator
 
+from ..obs.metrics import METRICS
+
 
 class _Leaf:
     __slots__ = ("keys", "buckets", "next")
@@ -62,9 +64,13 @@ class BPlusTree:
 
     def _find_leaf(self, key) -> _Leaf:
         node = self._root
+        visited = 1
         while not node.is_leaf:
             index = bisect.bisect_right(node.keys, key)
             node = node.children[index]
+            visited += 1
+        if METRICS.enabled:
+            METRICS.inc("btree.node_visits", visited)
         return node
 
     def get(self, key) -> list[Any]:
@@ -91,19 +97,27 @@ class BPlusTree:
             while not node.is_leaf:
                 node = node.children[0]
             leaf, start = node, 0
-        while leaf is not None:
-            for index in range(start, len(leaf.keys)):
-                key = leaf.keys[index]
-                if low is not None:
-                    if key < low or (key == low and not low_inclusive):
-                        continue
-                if high is not None:
-                    if key > high or (key == high and not high_inclusive):
-                        return
-                for entry in leaf.buckets[index]:
-                    yield key, entry
-            leaf = leaf.next
-            start = 0
+        leaves_walked = 0
+        try:
+            while leaf is not None:
+                leaves_walked += 1
+                for index in range(start, len(leaf.keys)):
+                    key = leaf.keys[index]
+                    if low is not None:
+                        if key < low or (key == low and not low_inclusive):
+                            continue
+                    if high is not None:
+                        if key > high or (key == high and
+                                          not high_inclusive):
+                            return
+                    for entry in leaf.buckets[index]:
+                        yield key, entry
+                leaf = leaf.next
+                start = 0
+        finally:
+            # Runs on exhaustion, early return, and generator close.
+            if METRICS.enabled and leaves_walked:
+                METRICS.inc("btree.leaf_scans", leaves_walked)
 
     def items(self) -> Iterator[tuple[Any, Any]]:
         return self.scan()
@@ -278,11 +292,36 @@ class BPlusTree:
     def check_invariants(self) -> None:
         """Raise AssertionError if structural invariants are violated."""
         self._check_node(self._root, is_root=True, low=None, high=None)
-        # Leaf chain must be sorted and complete.
+        # The leaf chain must visit exactly the leaves reachable by
+        # tree descent, left to right.  Checking node identity (not
+        # just key order) catches a mis-spliced ``next`` pointer after
+        # a merge — a stale pointer into a detached leaf can still
+        # yield sorted keys while dropping or duplicating entries.
+        leaves = self._leaves_by_descent()
+        chain: list[_Leaf] = []
+        node = leaves[0]
+        while node is not None:
+            chain.append(node)
+            assert len(chain) <= len(leaves), "leaf chain cycle"
+            node = node.next
+        assert [id(leaf) for leaf in chain] == \
+            [id(leaf) for leaf in leaves], \
+            "leaf next-chain does not match tree structure"
         keys = list(self.keys())
         assert keys == sorted(keys), "leaf chain out of order"
         assert len(keys) == self._key_count, "key_count drift"
         assert len(set(map(repr, keys))) == len(keys), "duplicate keys"
+
+    def _leaves_by_descent(self) -> list[_Leaf]:
+        leaves: list[_Leaf] = []
+        stack: list[Any] = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                leaves.append(node)
+            else:
+                stack.extend(reversed(node.children))
+        return leaves
 
     def _check_node(self, node, is_root: bool, low, high) -> int:
         assert node.keys == sorted(node.keys)

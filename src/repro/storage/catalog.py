@@ -11,6 +11,7 @@ from __future__ import annotations
 import re
 
 from ..errors import CatalogError, SQLError
+from ..obs.metrics import METRICS
 from ..schema.schema import Schema
 from ..schema.validator import validate
 from ..xdm.nodes import DocumentNode
@@ -234,6 +235,8 @@ class Database:
         stored_docs = self.documents(table, column)
         if stats is not None:
             stats.docs_scanned += len(stored_docs)
+        if METRICS.enabled:
+            METRICS.inc("docs.scanned", len(stored_docs))
         return [stored.document for stored in stored_docs]
 
     def _split_reference(self, reference: str) -> tuple[str, str]:
@@ -292,24 +295,35 @@ class Database:
     def xquery(self, query: str, use_indexes: bool = True,
                cost_based: bool = False,
                prefilter_threshold: float = 0.9,
-               rewrite_views: bool = False):
+               rewrite_views: bool = False,
+               tracer=None):
         """Run a standalone XQuery; returns a planner QueryResult.
 
         ``cost_based=True`` turns on selectivity-based probe pruning
         (DB2-style cost-based optimization); the default rule-based
         mode uses every eligible index.  ``rewrite_views=True`` enables
-        the §3.6 view-flattening rewrite.
+        the §3.6 view-flattening rewrite.  ``tracer`` (a
+        :class:`repro.obs.trace.Tracer`) records per-stage spans.
         """
         from ..planner.plan import execute_xquery
         return execute_xquery(self, query, use_indexes=use_indexes,
                               cost_based=cost_based,
                               prefilter_threshold=prefilter_threshold,
-                              rewrite_views=rewrite_views)
+                              rewrite_views=rewrite_views,
+                              tracer=tracer)
 
-    def sql(self, statement: str, use_indexes: bool = True):
+    def sql(self, statement: str, use_indexes: bool = True, tracer=None):
         """Run an SQL/XML SELECT or VALUES statement."""
         from ..sql.executor import execute_sql
-        return execute_sql(self, statement, use_indexes=use_indexes)
+        return execute_sql(self, statement, use_indexes=use_indexes,
+                           tracer=tracer)
+
+    def explain_analyze(self, statement: str, use_indexes: bool = True):
+        """Execute ``statement`` with full instrumentation and return an
+        :class:`repro.obs.explain.AnalyzedStatement` — the operator tree
+        with actual cardinalities, timings and estimation error."""
+        from ..obs.explain import explain_analyze
+        return explain_analyze(self, statement, use_indexes=use_indexes)
 
     def describe(self) -> str:
         """A human-readable catalog summary: tables, columns, indexes."""

@@ -26,6 +26,7 @@ from typing import Iterator
 
 from ..core.patterns import (LinearPattern, PathComponent, PathPattern,
                              parse_xmlpattern)
+from ..obs.metrics import METRICS
 from ..xdm.nodes import DocumentNode, Node
 
 __all__ = ["PathSummary", "PatternMatcher", "build_summary", "get_summary",
@@ -203,6 +204,8 @@ def build_summary(document: DocumentNode) -> PathSummary:
     """Build (or rebuild) and register the summary for ``document``."""
     summary = PathSummary.build(document)
     document.path_summary = summary
+    if METRICS.enabled:
+        METRICS.inc("pathsummary.builds")
     return summary
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from ..obs.metrics import METRICS
 from ..sql.values import normalize_key
 from .btree import BPlusTree
 
@@ -42,6 +43,8 @@ class RelationalIndex:
         if stats is not None:
             stats.index_entries_scanned += len(rows)
             stats.record_index_use(self.name)
+        if METRICS.enabled:
+            METRICS.inc("relindex.lookups")
         return rows
 
     def range(self, low=None, high=None, low_inclusive: bool = True,
@@ -56,6 +59,8 @@ class RelationalIndex:
         if stats is not None:
             stats.index_entries_scanned += count
             stats.record_index_use(self.name)
+        if METRICS.enabled:
+            METRICS.inc("relindex.lookups")
 
     def __len__(self) -> int:
         return len(self.tree)

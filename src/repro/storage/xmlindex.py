@@ -27,6 +27,7 @@ from typing import Iterator
 
 from ..core.patterns import PathComponent, PathPattern, parse_xmlpattern
 from ..errors import CastError, SchemaValidationError
+from ..obs.metrics import METRICS
 from ..xdm.atomic import (AtomicValue, T_DATE, T_DATETIME, T_DOUBLE,
                           T_STRING, cast)
 from ..xdm.nodes import DocumentNode, Node
@@ -172,6 +173,9 @@ class XmlIndex:
         if stats is not None:
             stats.index_entries_scanned += scanned
             stats.record_index_use(self.name)
+        if METRICS.enabled:
+            METRICS.inc("index.probes")
+            METRICS.inc("index.entries_scanned", scanned)
         return docs
 
     def key_for_value(self, value: AtomicValue):

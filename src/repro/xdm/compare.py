@@ -19,7 +19,6 @@ comparisons return the empty sequence and general comparisons false.
 
 from __future__ import annotations
 
-import math
 from typing import Callable
 
 from ..errors import XQueryTypeError
@@ -69,6 +68,15 @@ def _align_for_value_comparison(left: AtomicValue, right: AtomicValue
 def _align_typed_pair(left: AtomicValue, right: AtomicValue
                       ) -> tuple[AtomicValue, AtomicValue]:
     if left.is_numeric and right.is_numeric:
+        if T_DOUBLE in (left.type_name, right.type_name):
+            # Do NOT promote the other operand to double for a
+            # *comparison*: float(2**53 + 1) == float(2**53), so the
+            # cast collapses distinct integers above 2**53.  Python
+            # compares int/Decimal against float exactly, so keeping
+            # the non-double side in its own type is both correct and
+            # cheaper.  (Arithmetic still promotes — §3.6's documented
+            # precision loss applies to computation, not comparison.)
+            return left, right
         return promote_numeric_pair(left, right)
     if left.type_name == right.type_name:
         return left, right
@@ -85,10 +93,12 @@ def _compare_aligned(op: str, left: AtomicValue, right: AtomicValue) -> bool:
     compare = _OPS[op]
     left_value, right_value = left.value, right.value
     if left.type_name == T_DOUBLE or right.type_name == T_DOUBLE:
-        left_number, right_number = float(left_value), float(right_value)
-        if math.isnan(left_number) or math.isnan(right_number):
+        # ``x != x`` is the NaN test that works for float and Decimal
+        # alike — no ``float()`` coercion, so an exact integer operand
+        # stays exact (values straddling 2**53 compare correctly).
+        if left_value != left_value or right_value != right_value:
             return op == "ne"
-        return compare(left_number, right_number)
+        return compare(left_value, right_value)
     if left.type_name == T_BOOLEAN:
         return compare(bool(left_value), bool(right_value))
     if left.type_name in (T_DATE, T_DATETIME):

@@ -17,6 +17,7 @@ from __future__ import annotations
 import functools
 
 from ..errors import XQueryDynamicError, XQueryStaticError, XQueryTypeError
+from ..obs.metrics import METRICS
 from ..xdm import atomic
 from ..xdm.atomic import AtomicValue
 from ..xdm.compare import general_compare, node_compare, value_compare
@@ -456,6 +457,8 @@ class Evaluator:
             nodes.extend(summary.nodes_for(matcher))
         if ctx.stats is not None:
             ctx.stats.summary_lookups += 1
+        if METRICS.enabled:
+            METRICS.inc("pathsummary.hits")
         nodes = document_order(nodes)
         if predicates:
             nodes = self._filter_predicates(nodes, predicates, ctx)

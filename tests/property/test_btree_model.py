@@ -1,5 +1,6 @@
 """Property-based tests: B+Tree vs a dictionary model."""
 
+import pytest
 from collections import defaultdict
 
 from hypothesis import given, settings
@@ -42,6 +43,94 @@ def test_range_scan_matches_model(pairs, low, high, low_inc, high_inc):
     assert got == expected
 
 
+#: (key, value, is_delete) — one interleaved operation.
+operations = st.lists(st.tuples(keys, values, st.booleans()), max_size=120)
+
+
+@given(operations, keys, keys, st.booleans(), st.booleans())
+def test_delete_then_range_scan_matches_model(ops, low, high, low_inc,
+                                              high_inc):
+    """Random insert/delete interleavings, then scans vs the model.
+
+    This is the property that pins leaf-chain maintenance under
+    deletion: after merges/borrows, a full scan and an arbitrary range
+    scan must both agree with a dictionary model — a mis-spliced
+    ``next`` pointer duplicates or drops entries even when ``keys()``
+    still looks sorted.
+    """
+    tree = BPlusTree(order=4)
+    model: dict[int, list[int]] = defaultdict(list)
+    for key, value, is_delete in ops:
+        if is_delete:
+            assert tree.delete(key, value) == \
+                (value in model.get(key, []))
+            if value in model.get(key, []):
+                model[key].remove(value)
+                if not model[key]:
+                    del model[key]
+        else:
+            tree.insert(key, value)
+            model[key].append(value)
+    tree.check_invariants()
+    expected_full = sorted((key, value) for key, bucket in model.items()
+                           for value in bucket)
+    assert sorted(tree.scan()) == expected_full
+    expected_range = [
+        (key, value) for key, value in expected_full
+        if (key > low or (low_inc and key == low)) and
+           (key < high or (high_inc and key == high))]
+    assert sorted(tree.scan(low, high, low_inc, high_inc)) == \
+        sorted(expected_range)
+
+
+class _UnsplicedTree(BPlusTree):
+    """BPlusTree with the leaf-merge ``next`` splice removed — the
+    regression the invariant checker and scan property must catch."""
+
+    def _merge(self, parent, left_index, left, right):
+        if left.is_leaf:
+            left.keys.extend(right.keys)
+            left.buckets.extend(right.buckets)
+            # BUG under test: ``left.next = right.next`` omitted, so the
+            # chain still runs through the detached ``right`` leaf.
+        else:
+            left.keys.append(parent.keys[left_index])
+            left.keys.extend(right.keys)
+            left.children.extend(right.children)
+        parent.keys.pop(left_index)
+        parent.children.pop(left_index + 1)
+
+
+def _mass_delete(tree):
+    for key in range(12):
+        tree.insert(key, key)
+    for key in range(12):
+        tree.delete(key)
+        tree.check_invariants()
+
+
+def test_merge_splices_leaf_next_pointer():
+    """Deleting down through leaf merges keeps the chain exactly the
+    leaves reachable by descent; the unspliced mutant must be caught."""
+    _mass_delete(BPlusTree(order=4))  # the real tree survives
+
+    with pytest.raises(AssertionError):
+        _mass_delete(_UnsplicedTree(order=4))
+
+
+def test_delete_then_full_scan_after_merges():
+    """Deterministic merge cascade: scans stay duplicate-free."""
+    tree = BPlusTree(order=4)
+    for key in range(20):
+        tree.insert(key, key * 10)
+    for key in list(range(0, 20, 2)):
+        assert tree.delete(key)
+        tree.check_invariants()
+        remaining = sorted(k for k in range(20)
+                           if k > key and k % 2 == 0 or k % 2 == 1)
+        assert [k for k, _v in tree.scan()] == remaining
+
+
 class BTreeMachine(RuleBasedStateMachine):
     """Stateful test: interleaved inserts/deletes keep invariants."""
 
@@ -78,6 +167,14 @@ class BTreeMachine(RuleBasedStateMachine):
         assert list(self.tree.keys()) == sorted(self.model)
         assert len(self.tree) == sum(len(bucket)
                                      for bucket in self.model.values())
+
+    @invariant()
+    def full_scan_matches_model(self):
+        # Walks the leaf chain including buckets: catches chain damage
+        # that keys()/key_count-based checks cannot see.
+        assert sorted(self.tree.scan()) == sorted(
+            (key, value) for key, bucket in self.model.items()
+            for value in bucket)
 
 
 TestBTreeMachine = BTreeMachine.TestCase

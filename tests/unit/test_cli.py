@@ -89,6 +89,57 @@ class TestCLI:
         assert "cli_idx_1" in output
 
 
+class TestObservabilityFlags:
+    def test_explain_analyze_flag(self, xml_dir):
+        output = run_cli(
+            "query", "--load", str(xml_dir),
+            "--index", "//lineitem/@price AS DOUBLE",
+            "--explain-analyze",
+            "db2-fn:xmlcolumn('DOCS.DOC')//lineitem[@price > 100]")
+        assert "EXPLAIN ANALYZE (xquery)" in output
+        assert "-> index-scan" in output
+        assert "actual documents=1" in output
+
+    def test_explain_analyze_sql(self, xml_dir):
+        output = run_cli(
+            "sql", "--load", str(xml_dir), "--explain-analyze",
+            "SELECT name FROM docs WHERE XMLEXISTS("
+            "'$d//lineitem[@price > 100]' PASSING doc AS \"d\")")
+        assert "EXPLAIN ANALYZE (sql)" in output
+        assert "-> join-scan" in output
+
+    def test_metrics_flag(self, xml_dir):
+        output = run_cli(
+            "query", "--load", str(xml_dir),
+            "--index", "//lineitem/@price AS DOUBLE", "--metrics",
+            "db2-fn:xmlcolumn('DOCS.DOC')//lineitem[@price > 100]")
+        assert "metrics:" in output
+        assert "index.probes 1" in output
+        assert "queries.xquery 1" in output
+
+    def test_trace_to_file_validates(self, xml_dir, tmp_path):
+        import json
+        from repro.obs.trace import validate_trace
+        trace_path = tmp_path / "trace.json"
+        run_cli(
+            "query", "--load", str(xml_dir), "--trace", str(trace_path),
+            "db2-fn:xmlcolumn('DOCS.DOC')//lineitem[@price > 100]")
+        payload = json.loads(trace_path.read_text())
+        assert validate_trace(payload) == []
+        assert payload["language"] == "xquery"
+
+    def test_trace_to_stdout(self, xml_dir):
+        import json
+        from repro.obs.trace import validate_trace
+        output = run_cli(
+            "sql", "--load", str(xml_dir), "--trace", "-",
+            "SELECT name FROM docs")
+        start = output.index('{\n  "trace_version"')
+        payload = json.loads(output[start:])
+        assert validate_trace(payload) == []
+        assert payload["language"] == "sql"
+
+
 class TestPrettyPrinting:
     def test_indent_element_content(self):
         doc = parse_document("<a><b><c/></b><d/></a>")

@@ -114,6 +114,57 @@ class TestValueComparison:
         assert not value_compare("eq", [one], [two])[0].value
 
 
+class TestDoubleMixedPrecision:
+    """Regression: mixed double/exact comparisons must not coerce the
+    exact operand through float().  float(2**53 + 1) == float(2**53),
+    so the old coercion collapsed distinct integers above 2**53."""
+
+    BIG = 2 ** 53
+
+    def test_integer_above_2_53_not_equal_to_nearest_double(self):
+        big_int = atomic.integer(self.BIG + 1)
+        near_double = atomic.double(float(self.BIG))
+        assert not value_compare("eq", [big_int], [near_double])[0].value
+        assert value_compare("ne", [big_int], [near_double])[0].value
+        assert not general_compare("=", [big_int], [near_double])
+
+    def test_ordering_straddles_2_53(self):
+        big_int = atomic.integer(self.BIG + 1)
+        near_double = atomic.double(float(self.BIG))
+        assert value_compare("gt", [big_int], [near_double])[0].value
+        assert general_compare(">", [big_int], [near_double])
+        assert general_compare("<", [near_double], [big_int])
+        assert not general_compare(">=", [near_double], [big_int])
+
+    def test_exactly_representable_still_equal(self):
+        big_int = atomic.integer(self.BIG)
+        same_double = atomic.double(float(self.BIG))
+        assert value_compare("eq", [big_int], [same_double])[0].value
+        assert general_compare("=", [big_int], [same_double])
+
+    def test_decimal_vs_double_stays_exact(self):
+        from decimal import Decimal
+        fine = atomic.decimal(Decimal(self.BIG) + Decimal("0.5"))
+        coarse = atomic.double(float(self.BIG))
+        assert value_compare("gt", [fine], [coarse])[0].value
+        assert not value_compare("eq", [fine], [coarse])[0].value
+
+    def test_nan_vs_exact_integer(self):
+        nan = atomic.double(float("nan"))
+        big_int = atomic.integer(self.BIG + 1)
+        assert value_compare("ne", [big_int], [nan])[0].value
+        assert not value_compare("eq", [big_int], [nan])[0].value
+        assert not value_compare("lt", [big_int], [nan])[0].value
+        assert general_compare("!=", [nan], [big_int])
+        assert not general_compare("=", [nan], [big_int])
+
+    def test_infinity_vs_integer(self):
+        infinity = atomic.double(float("inf"))
+        big_int = atomic.integer(self.BIG + 1)
+        assert value_compare("lt", [big_int], [infinity])[0].value
+        assert general_compare(">", [infinity], [big_int])
+
+
 class TestNodeComparison:
     def test_is_identity(self):
         element = ElementNode(QName("", "a"))

@@ -1,0 +1,101 @@
+"""Unit tests for the compiled-query cache — including thread safety.
+
+The cache is module-global shared state; before the lock landed, two
+threads interleaving ``get`` / ``move_to_end`` / ``popitem`` could
+corrupt the OrderedDict or lose hit/miss counter updates.  The smoke
+test below shrinks the GIL switch interval to force those interleavings
+and asserts the accounting identity ``hits + misses == calls``.
+"""
+
+import random
+import sys
+import threading
+
+from repro.core.querycache import cache_info, clear_cache, compile_query
+
+
+class TestBasics:
+    def setup_method(self):
+        clear_cache()
+
+    def test_hit_returns_same_object(self):
+        first = compile_query("1 + 1")
+        second = compile_query("1 + 1")
+        assert first is second
+        info = cache_info()
+        assert info.hits == 1
+        assert info.misses == 1
+        assert info.size == 1
+
+    def test_lru_eviction(self):
+        maxsize = cache_info().maxsize
+        for position in range(maxsize + 10):
+            compile_query(f"1 + {position}")
+        info = cache_info()
+        assert info.size == maxsize
+        # The oldest entries were evicted; re-asking re-parses.
+        hits_before = cache_info().hits
+        compile_query("1 + 0")
+        assert cache_info().hits == hits_before
+
+    def test_clear_resets_counters(self):
+        compile_query("2 + 2")
+        clear_cache()
+        info = cache_info()
+        assert (info.hits, info.misses, info.size) == (0, 0, 0)
+
+
+class TestConcurrency:
+    def setup_method(self):
+        clear_cache()
+
+    def test_concurrent_compile_is_safe(self):
+        """8 threads × 300 lookups over 300 distinct texts (> maxsize,
+        so eviction races too).  Without the lock this loses counter
+        updates and can corrupt the OrderedDict outright."""
+        sources = [f"1 + {position}" for position in range(300)]
+        threads = 8
+        calls_per_thread = 300
+        errors: list[BaseException] = []
+
+        def worker(seed: int) -> None:
+            generator = random.Random(seed)
+            try:
+                for _ in range(calls_per_thread):
+                    source = sources[generator.randrange(len(sources))]
+                    compiled = compile_query(source)
+                    assert compiled.source == source
+            except BaseException as exc:  # noqa: BLE001 - collect all
+                errors.append(exc)
+
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)
+        try:
+            workers = [threading.Thread(target=worker, args=(seed,))
+                       for seed in range(threads)]
+            for thread in workers:
+                thread.start()
+            for thread in workers:
+                thread.join()
+        finally:
+            sys.setswitchinterval(old_interval)
+
+        assert not errors, errors
+        info = cache_info()
+        assert info.hits + info.misses == threads * calls_per_thread
+        assert info.size <= info.maxsize
+
+
+class TestMetricsHooks:
+    def setup_method(self):
+        clear_cache()
+
+    def test_cache_counters_reach_metrics(self):
+        from repro.obs.metrics import enabled_metrics
+        with enabled_metrics() as metrics:
+            compile_query("3 + 3")
+            compile_query("3 + 3")
+            snapshot = metrics.snapshot()
+        assert snapshot["counters"]["querycache.misses"] == 1
+        assert snapshot["counters"]["querycache.hits"] == 1
+        assert snapshot["derived"]["querycache.hit_ratio"] == 0.5
