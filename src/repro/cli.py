@@ -74,6 +74,12 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--trace", metavar="FILE", default=None,
                              help="write the span trace as JSON to "
                                   "FILE ('-' for stdout)")
+        if name == "query":
+            sub.add_argument("--workers", type=int, default=1,
+                             metavar="N",
+                             help="fan the query across N document-"
+                                  "partition workers (falls back to "
+                                  "serial when not partitionable)")
         if name != "describe":
             sub.add_argument("statement", help="the query text")
     return parser
@@ -170,9 +176,14 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
         else:
             tracer = (Tracer(arguments.statement, "xquery")
                       if arguments.trace else None)
-            result = database.xquery(arguments.statement,
-                                     use_indexes=use_indexes,
-                                     tracer=tracer)
+            if getattr(arguments, "workers", 1) > 1:
+                result = database.xquery_parallel(
+                    arguments.statement, max_workers=arguments.workers,
+                    use_indexes=use_indexes, tracer=tracer)
+            else:
+                result = database.xquery(arguments.statement,
+                                         use_indexes=use_indexes,
+                                         tracer=tracer)
             for item in result.items:
                 print(serialize(item, indent=arguments.indent), file=out)
             print(result.stats.explain(), file=out)

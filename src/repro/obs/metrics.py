@@ -23,6 +23,14 @@ of the trace/EXPLAIN ANALYZE contract documented in EXPERIMENTS.md):
 ``rows.scanned``                  relational rows examined
 ``queries.xquery`` / ``.sql``     statements executed
 ``query.seconds`` (histogram)     end-to-end statement wall time
+``rwlock.read_acquires``          database read-lock acquisitions
+``rwlock.write_acquires``         database write-lock acquisitions
+``rwlock.read_wait_seconds``      contended reader waits (histogram)
+``rwlock.write_wait_seconds``     contended writer waits (histogram)
+``parallel.fanouts``              partition-parallel executions
+``parallel.partitions``           worker partitions across all fanouts
+``parallel.serial_fallbacks``     queries the partition gate refused
+``parallel.seconds`` (histogram)  partition-parallel wall time
 ================================  =========================================
 
 All mutation goes through one :class:`threading.Lock`; the compiled

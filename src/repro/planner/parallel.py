@@ -1,0 +1,241 @@
+"""Partition-parallel XQuery execution: fan one query across document
+partitions.
+
+The serving-layer counterpart of the paper's collection model: a
+``db2-fn:xmlcolumn`` query touches many independent documents, so a
+descendant-heavy or multi-document query can be split by document —
+each worker evaluates the *same* compiled query over a disjoint slice
+of the column and the orchestrator concatenates the slices in document
+order.  This mirrors the path/document partitioning surveyed for
+RadegastXDB and Sedna-style engines, scaled down to a thread pool.
+
+Soundness gate (:func:`partition_reference`) — a query is partitioned
+only when splitting provably cannot change its answer:
+
+* exactly one ``db2-fn:xmlcolumn`` call, with a literal reference, and
+  no ``db2-fn:sqlquery`` anywhere (including prolog functions) — a
+  nested SQL call would need database re-entry from worker threads;
+* the body is that call, a relative path rooted at it (no predicates
+  on the call step itself — those would filter the *global* document
+  sequence), or a FLWOR whose first clause is a plain ``for`` (no
+  position variable) over such a path;
+* no ``order by`` in the top FLWOR — its sort is over the whole
+  binding stream.
+
+Everything per-binding (where clauses, nested FLWORs, constructors)
+distributes over concatenation; per-step predicates apply within one
+context node and never cross documents.  Anything else falls back to
+the serial path, counted in ``parallel.serial_fallbacks``.
+
+Execution: the orchestrator takes the database read lock ONCE for the
+whole fan-out, captures a :class:`~repro.storage.snapshot.Snapshot`,
+plans index prefilters a single time, then hands each worker a
+:class:`~repro.planner.plan.PrefilteredDatabase` view of the snapshot
+restricted to its partition.  Workers run lock-free (the gate bans the
+only construct that would re-enter the lock), so a queued writer can
+never deadlock against the pool.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from ..obs.metrics import METRICS
+from ..xdm.qname import DB2FN_NS
+from ..xdm.sequence import Item, document_order
+from ..xdm.nodes import Node
+from ..xquery import ast
+from ..xquery.evaluator import evaluate_module
+from ..core.querycache import compile_query
+from .plan import PrefilteredDatabase, QueryResult, plan_prefilters
+from .stats import ExecutionStats
+
+__all__ = ["partition_reference", "execute_xquery_parallel"]
+
+
+def _db2_calls(module: ast.Module) -> tuple[list, bool]:
+    """(xmlcolumn calls, saw_sqlquery) across body AND prolog bodies."""
+    scope: list[object] = list(ast.walk(module.body))
+    for function in module.prolog.functions.values():
+        scope.extend(ast.walk(function.body))
+    xmlcolumn_calls = []
+    saw_sqlquery = False
+    for node in scope:
+        if not isinstance(node, ast.FunctionCall):
+            continue
+        if node.name.uri != DB2FN_NS:
+            continue
+        if node.name.local == "xmlcolumn":
+            xmlcolumn_calls.append(node)
+        elif node.name.local == "sqlquery":
+            saw_sqlquery = True
+    return xmlcolumn_calls, saw_sqlquery
+
+
+def _rooted_at(expr, call) -> bool:
+    """Is ``expr`` the call itself or a relative path rooted at it with
+    no predicates on the root step (which would be global filters)?"""
+    if expr is call:
+        return True
+    if isinstance(expr, ast.PathExpr) and not expr.absolute and expr.steps:
+        first = expr.steps[0]
+        return (isinstance(first, ast.ExprStep) and first.expr is call
+                and not first.predicates)
+    return False
+
+
+def partition_reference(module: ast.Module) -> str | None:
+    """The ``TABLE.COLUMN`` reference to partition on, or None when the
+    query is not provably partitionable (serial fallback)."""
+    calls, saw_sqlquery = _db2_calls(module)
+    if saw_sqlquery or len(calls) != 1:
+        return None
+    call = calls[0]
+    if len(call.args) != 1:
+        return None
+    argument = call.args[0]
+    if not (isinstance(argument, ast.Literal)
+            and isinstance(argument.value.value, str)):
+        return None
+    reference = argument.value.value
+    body = module.body
+    if _rooted_at(body, call):
+        return reference
+    if isinstance(body, ast.FLWORExpr):
+        if not body.clauses:
+            return None
+        first = body.clauses[0]
+        if not isinstance(first, ast.ForClause) or first.position_var:
+            return None
+        if not _rooted_at(first.expr, call):
+            return None
+        if any(isinstance(clause, ast.OrderByClause)
+               for clause in body.clauses):
+            return None
+        return reference
+    return None
+
+
+def _partition(doc_ids: list[int], workers: int) -> list[list[int]]:
+    """Contiguous row-order chunks — concatenation preserves order."""
+    chunk, remainder = divmod(len(doc_ids), workers)
+    partitions: list[list[int]] = []
+    start = 0
+    for position in range(workers):
+        size = chunk + (1 if position < remainder else 0)
+        if size == 0:
+            break
+        partitions.append(doc_ids[start:start + size])
+        start += size
+    return partitions
+
+
+def execute_xquery_parallel(database, query: str, max_workers: int = 4,
+                            use_indexes: bool = True,
+                            tracer=None) -> QueryResult:
+    """Fan ``query`` across document partitions of its xmlcolumn.
+
+    Byte-identical to the serial answer: the gate admits only queries
+    whose result distributes over document concatenation, partitions
+    are contiguous in row (= document) order, and pure path bodies get
+    a final document-order merge.  Non-partitionable queries (or
+    ``max_workers <= 1``) run serially through ``database.xquery``.
+    """
+    compiled = compile_query(query)
+    reference = partition_reference(compiled.module)
+    if reference is None or max_workers <= 1:
+        if METRICS.enabled and reference is None:
+            METRICS.inc("parallel.serial_fallbacks")
+        return database.xquery(query, use_indexes=use_indexes,
+                               tracer=tracer)
+
+    started = time.perf_counter() if METRICS.enabled else 0.0
+    stats = ExecutionStats()
+    with database._rwlock.read():
+        snapshot = database.snapshot()
+        doc_ids = [stored.doc_id for stored in snapshot.documents(
+            *snapshot._split_reference(reference))]
+        allowed: set[int] | None = None
+        if use_indexes:
+            candidates = list(compiled.candidates)
+            prefilters = plan_prefilters(snapshot, candidates, stats)
+            for column, prefilter in prefilters.items():
+                if column.lower() != reference.lower():
+                    continue  # single-column query: nothing else applies
+                docs = prefilter.run(stats)
+                allowed = docs if allowed is None else (allowed & docs)
+                for note in prefilter.notes:
+                    stats.note(note)
+                stats.note(f"prefilter {column}: {len(docs)} documents "
+                           f"survive")
+        if allowed is not None:
+            doc_ids = [doc_id for doc_id in doc_ids if doc_id in allowed]
+        partitions = _partition(doc_ids, max_workers)
+        stats.note(f"partition-parallel: {len(doc_ids)} documents of "
+                   f"{reference} across {len(partitions)} workers")
+
+        def run_partition(partition: list[int]
+                          ) -> tuple[list[Item], ExecutionStats, object]:
+            worker_stats = ExecutionStats()
+            worker_tracer = None
+            if tracer is not None:
+                from ..obs.trace import Tracer
+                worker_tracer = Tracer(statement=query, language="xquery")
+            view = PrefilteredDatabase(snapshot,
+                                       {reference: set(partition)})
+            if worker_tracer is not None:
+                with worker_tracer.span("partition-eval",
+                                        documents=len(partition)) as span:
+                    items = evaluate_module(compiled.module, database=view,
+                                            stats=worker_stats)
+                    span.set(actual_rows=len(items), unit="items")
+            else:
+                items = evaluate_module(compiled.module, database=view,
+                                        stats=worker_stats)
+            return items, worker_stats, worker_tracer
+
+        if tracer is not None:
+            context = tracer.span("parallel-exec",
+                                  partitions=len(partitions),
+                                  max_workers=max_workers,
+                                  reference=reference)
+        else:
+            context = _null_context()
+        with context:
+            if len(partitions) <= 1:
+                outcomes = [run_partition(partition)
+                            for partition in partitions]
+            else:
+                with ThreadPoolExecutor(
+                        max_workers=len(partitions)) as pool:
+                    outcomes = list(pool.map(run_partition, partitions))
+
+        items: list[Item] = []
+        for worker, (worker_items, worker_stats,
+                     worker_tracer) in enumerate(outcomes):
+            items.extend(worker_items)
+            stats.merge(worker_stats)
+            if tracer is not None and worker_tracer is not None:
+                tracer.attach(worker_tracer, worker=worker)
+
+    if isinstance(compiled.module.body, (ast.PathExpr, ast.FunctionCall)) \
+            and all(isinstance(item, Node) for item in items):
+        # A pure path body is globally document-order sorted in serial
+        # execution; re-merge so out-of-creation-order ingests still
+        # serialize identically.
+        items = document_order(items)
+    if METRICS.enabled:
+        METRICS.inc("parallel.fanouts")
+        METRICS.inc("parallel.partitions", len(partitions))
+        METRICS.observe("parallel.seconds",
+                        time.perf_counter() - started)
+    return QueryResult(items, stats)
+
+
+class _null_context:
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc_info):
+        return None

@@ -28,6 +28,7 @@ from ..core.between import detect_between
 from ..core.eligibility import analyze_candidates, check_index
 from ..core.predicates import PredicateCandidate, extract_candidates
 from ..core.querycache import cache_info, compile_query
+from ..errors import ReproError
 from ..obs.metrics import METRICS
 from ..xdm.sequence import Item
 from ..xquery.evaluator import evaluate_module
@@ -88,7 +89,9 @@ def _bounds_for(candidate: PredicateCandidate, index) -> _Probe | None:
         return None  # join predicate: no static bound to scan with
     try:
         key = index.key_for_value(candidate.operand_value)
-    except Exception:
+    except ReproError:
+        # An uncastable bound legitimately disqualifies the probe (the
+        # tolerant-index contract); anything else is a bug and raises.
         return None
     op = candidate.op
     if op in ("=", "eq"):

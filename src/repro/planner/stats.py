@@ -41,6 +41,19 @@ class ExecutionStats:
     def note(self, message: str) -> None:
         self.plan_notes.append(message)
 
+    def merge(self, other: "ExecutionStats") -> None:
+        """Fold a partition worker's counters into this (orchestrator)
+        stats object; notes are appended in worker order."""
+        self.docs_scanned += other.docs_scanned
+        self.rows_scanned += other.rows_scanned
+        self.index_entries_scanned += other.index_entries_scanned
+        self.index_scans += other.index_scans
+        self.summary_lookups += other.summary_lookups
+        for name in other.indexes_used:
+            if name not in self.indexes_used:
+                self.indexes_used.append(name)
+        self.plan_notes.extend(other.plan_notes)
+
     def explain(self) -> str:
         lines = list(self.plan_notes)
         lines.append(

@@ -672,10 +672,13 @@ class _SQLExecutor:
             allowed = plan.row_filters[ref.alias]
             rows = [row for row in rows if row.row_id in allowed]
         if ref.alias in plan.doc_filters:
+            # A doc filter is an index verdict about the row's XML
+            # documents; a row referencing *no* documents (NULL or
+            # relational-only columns) is outside the index's scope and
+            # must survive to be judged by the residual WHERE clause.
             allowed_docs = plan.doc_filters[ref.alias]
             rows = [row for row in rows
-                    if _row_docs(row) & allowed_docs or
-                    (not _row_docs(row) and False)]
+                    if not (docs := _row_docs(row)) or docs & allowed_docs]
         return rows
 
     def _run_join_probe(self, probe: _JoinProbe, env: dict,

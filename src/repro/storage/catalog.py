@@ -4,21 +4,31 @@ This is the component a user of the library touches: create tables
 with XML columns, insert documents (optionally validated against a
 per-document schema), create XML value indexes with the paper's
 ``CREATE INDEX … USING XMLPATTERN`` DDL, and run XQuery or SQL/XML.
+
+Concurrency model (see README "Concurrency model"): every public
+entry point classifies itself as a *reader* (queries, snapshots,
+explains) or a *writer* (DDL, ingest, delete) and takes the matching
+side of one :class:`repro.core.rwlock.RWLock`.  Readers share; writers
+exclude everything and bump :attr:`Database.version`.  Writers apply
+copy-on-write to each container they change — catalog dicts here,
+per-table row lists in :mod:`repro.storage.table` — so a
+:class:`~repro.storage.snapshot.Snapshot` captured by a reader stays
+internally consistent forever.
 """
 
 from __future__ import annotations
 
 import re
 
+from ..core.rwlock import RWLock
 from ..errors import CatalogError, SQLError
-from ..obs.metrics import METRICS
 from ..schema.schema import Schema
 from ..schema.validator import validate
 from ..xdm.nodes import DocumentNode
-from ..xdm.sequence import Item
 from ..xmlio.parser import parse_document
-from .pathsummary import PatternMatcher, build_summary, get_summary
+from .pathsummary import build_summary
 from .relindex import RelationalIndex
+from .snapshot import ReadView, Snapshot
 from .table import Row, StoredDocument, Table, next_doc_id
 from .xmlindex import XmlIndex
 
@@ -39,8 +49,11 @@ _CREATE_TABLE_RE = re.compile(
     r"^\s*CREATE\s+TABLE\s+(?P<name>\w+)\s*\((?P<columns>.*)\)\s*;?\s*$",
     re.IGNORECASE | re.DOTALL)
 
+#: Statement heads the text dispatchers treat as writes (exclusive lock).
+_WRITE_HEADS = ("INSERT", "DELETE", "CREATE")
 
-class Database:
+
+class Database(ReadView):
     """An in-memory XML database in the mould of DB2 Viper."""
 
     def __init__(self, index_order: int = 64):
@@ -49,83 +62,109 @@ class Database:
         self.xml_indexes: dict[str, XmlIndex] = {}
         self.rel_indexes: dict[str, RelationalIndex] = {}
         self.schemas: dict[str, Schema] = {}
+        #: Monotone write counter: every committed DDL/DML bumps it.
+        self.version = 0
+        self._rwlock = RWLock()
 
     # ------------------------------------------------------------------
-    # DDL
+    # DDL (writers: exclusive lock + copy-on-write catalog updates)
     # ------------------------------------------------------------------
 
     def create_table(self, name: str,
                      columns: list[tuple[str, str]]) -> Table:
-        key = name.lower()
-        if key in self.tables:
-            raise CatalogError(f"table {name!r} already exists")
-        table = Table(name, columns)
-        self.tables[key] = table
-        return table
+        with self._rwlock.write():
+            key = name.lower()
+            if key in self.tables:
+                raise CatalogError(f"table {name!r} already exists")
+            table = Table(name, columns)
+            tables = dict(self.tables)
+            tables[key] = table
+            self.tables = tables
+            self.version += 1
+            return table
 
     def drop_table(self, name: str) -> None:
-        table = self.table(name)
-        for index in list(self.xml_indexes.values()):
-            if index.table == table.name:
-                del self.xml_indexes[index.name]
-        for index in list(self.rel_indexes.values()):
-            if index.table == table.name:
-                del self.rel_indexes[index.name]
-        del self.tables[table.name]
-
-    def table(self, name: str) -> Table:
-        try:
-            return self.tables[name.lower()]
-        except KeyError:
-            raise CatalogError(f"unknown table {name!r}") from None
+        with self._rwlock.write():
+            table = self.table(name)
+            self.xml_indexes = {
+                index_name: index
+                for index_name, index in self.xml_indexes.items()
+                if index.table != table.name}
+            self.rel_indexes = {
+                index_name: index
+                for index_name, index in self.rel_indexes.items()
+                if index.table != table.name}
+            tables = dict(self.tables)
+            del tables[table.name]
+            self.tables = tables
+            self.version += 1
 
     def register_schema(self, schema: Schema) -> None:
-        self.schemas[schema.name] = schema
+        with self._rwlock.write():
+            schemas = dict(self.schemas)
+            schemas[schema.name] = schema
+            self.schemas = schemas
+            self.version += 1
 
     def create_xml_index(self, name: str, table: str, column: str,
                          pattern: str, index_type: str) -> XmlIndex:
-        key = name.lower()
-        if key in self.xml_indexes or key in self.rel_indexes:
-            raise CatalogError(f"index {name!r} already exists")
-        table_obj = self.table(table)
-        if not table_obj.column_type(column).is_xml:
-            raise CatalogError(
-                f"{table}.{column} is not an XML column")
-        index = XmlIndex(key, table_obj.name, column.lower(), pattern,
-                         index_type, order=self.index_order)
-        # Build: index existing documents.
-        for stored in self.documents(table, column):
-            index.index_document(stored.doc_id, stored.document)
-        self.xml_indexes[key] = index
-        return index
+        with self._rwlock.write():
+            key = name.lower()
+            if key in self.xml_indexes or key in self.rel_indexes:
+                raise CatalogError(f"index {name!r} already exists")
+            table_obj = self.table(table)
+            if not table_obj.column_type(column).is_xml:
+                raise CatalogError(
+                    f"{table}.{column} is not an XML column")
+            index = XmlIndex(key, table_obj.name, column.lower(), pattern,
+                             index_type, order=self.index_order)
+            # Build: index existing documents.
+            for stored in self.documents(table, column):
+                index.index_document(stored.doc_id, stored.document)
+            xml_indexes = dict(self.xml_indexes)
+            xml_indexes[key] = index
+            self.xml_indexes = xml_indexes
+            self.version += 1
+            return index
 
     def create_relational_index(self, name: str, table: str,
                                 column: str) -> RelationalIndex:
-        key = name.lower()
-        if key in self.xml_indexes or key in self.rel_indexes:
-            raise CatalogError(f"index {name!r} already exists")
-        table_obj = self.table(table)
-        if table_obj.column_type(column).is_xml:
-            raise CatalogError(
-                f"{table}.{column} is an XML column; use XMLPATTERN DDL")
-        index = RelationalIndex(key, table_obj.name, column.lower(),
-                                order=self.index_order)
-        for row in table_obj.rows:
-            index.insert_row(row.row_id, row.values[column.lower()])
-        self.rel_indexes[key] = index
-        return index
+        with self._rwlock.write():
+            key = name.lower()
+            if key in self.xml_indexes or key in self.rel_indexes:
+                raise CatalogError(f"index {name!r} already exists")
+            table_obj = self.table(table)
+            if table_obj.column_type(column).is_xml:
+                raise CatalogError(
+                    f"{table}.{column} is an XML column; use XMLPATTERN "
+                    f"DDL")
+            index = RelationalIndex(key, table_obj.name, column.lower(),
+                                    order=self.index_order)
+            for row in table_obj.rows:
+                index.insert_row(row.row_id, row.values[column.lower()])
+            rel_indexes = dict(self.rel_indexes)
+            rel_indexes[key] = index
+            self.rel_indexes = rel_indexes
+            self.version += 1
+            return index
 
     def drop_index(self, name: str) -> None:
-        key = name.lower()
-        if key in self.xml_indexes:
-            del self.xml_indexes[key]
-        elif key in self.rel_indexes:
-            del self.rel_indexes[key]
-        else:
-            raise CatalogError(f"unknown index {name!r}")
+        with self._rwlock.write():
+            key = name.lower()
+            if key in self.xml_indexes:
+                xml_indexes = dict(self.xml_indexes)
+                del xml_indexes[key]
+                self.xml_indexes = xml_indexes
+            elif key in self.rel_indexes:
+                rel_indexes = dict(self.rel_indexes)
+                del rel_indexes[key]
+                self.rel_indexes = rel_indexes
+            else:
+                raise CatalogError(f"unknown index {name!r}")
+            self.version += 1
 
     # ------------------------------------------------------------------
-    # DML
+    # DML (writers)
     # ------------------------------------------------------------------
 
     def insert(self, table: str, values: dict[str, object],
@@ -133,37 +172,43 @@ class Database:
                ) -> Row:
         """Insert a row.  XML column values may be XML text or a
         DocumentNode; ``schema`` optionally names a registered schema
-        (or maps column name -> schema) for per-document validation."""
-        table_obj = self.table(table)
-        prepared: dict[str, object] = {}
-        stored_docs: list[StoredDocument] = []
-        for column_name, value in values.items():
-            key = column_name.lower()
-            sql_type = table_obj.column_type(key)
-            if sql_type.is_xml and value is not None:
-                document = (value if isinstance(value, DocumentNode)
-                            else parse_document(str(value)))
-                doc_schema = self._schema_for(schema, key)
-                if doc_schema is not None:
-                    validate(document, doc_schema)
-                stored = StoredDocument(
-                    next_doc_id(), document,
-                    doc_schema.name if doc_schema else None)
-                # Build the structural path summary at ingest: it backs
-                # the evaluator's `//tag` fast path, index builds, and
-                # the planner's cardinality estimates.
-                build_summary(document)
-                stored_docs.append(stored)
-                prepared[key] = stored
-            else:
-                prepared[key] = value
-        row = table_obj.new_row(prepared)
-        try:
-            self._index_row(table_obj, row)
-        except Exception:
-            table_obj.remove_row(row)
-            raise
-        return row
+        (or maps column name -> schema) for per-document validation.
+
+        The whole insert — parse, validate, row append, index
+        maintenance — is one write-side critical section: concurrent
+        readers see either none or all of it."""
+        with self._rwlock.write():
+            table_obj = self.table(table)
+            prepared: dict[str, object] = {}
+            stored_docs: list[StoredDocument] = []
+            for column_name, value in values.items():
+                key = column_name.lower()
+                sql_type = table_obj.column_type(key)
+                if sql_type.is_xml and value is not None:
+                    document = (value if isinstance(value, DocumentNode)
+                                else parse_document(str(value)))
+                    doc_schema = self._schema_for(schema, key)
+                    if doc_schema is not None:
+                        validate(document, doc_schema)
+                    stored = StoredDocument(
+                        next_doc_id(), document,
+                        doc_schema.name if doc_schema else None)
+                    # Build the structural path summary at ingest: it
+                    # backs the evaluator's `//tag` fast path, index
+                    # builds, and the planner's cardinality estimates.
+                    build_summary(document)
+                    stored_docs.append(stored)
+                    prepared[key] = stored
+                else:
+                    prepared[key] = value
+            row = table_obj.new_row(prepared)
+            try:
+                self._index_row(table_obj, row)
+            except Exception:
+                table_obj.remove_row(row)
+                raise
+            self.version += 1
+            return row
 
     def _schema_for(self, schema, column: str) -> Schema | None:
         if schema is None:
@@ -200,97 +245,35 @@ class Database:
     def delete_rows(self, table: str, predicate=None) -> int:
         """Delete rows matching ``predicate(row_values_dict)`` (all rows
         if None); maintains every index.  Returns the count removed."""
-        table_obj = self.table(table)
-        victims = [row for row in table_obj.rows
-                   if predicate is None or predicate(row.values)]
-        for row in victims:
-            for index in self.xml_indexes.values():
-                if index.table != table_obj.name:
-                    continue
-                stored = row.values.get(index.column)
-                if isinstance(stored, StoredDocument):
-                    index.remove_document(stored.doc_id, stored.document)
-            for index in self.rel_indexes.values():
-                if index.table == table_obj.name:
-                    index.remove_row(row.row_id,
-                                     row.values[index.column])
-            table_obj.remove_row(row)
-        return len(victims)
+        with self._rwlock.write():
+            table_obj = self.table(table)
+            victims = [row for row in table_obj.rows
+                       if predicate is None or predicate(row.values)]
+            for row in victims:
+                for index in self.xml_indexes.values():
+                    if index.table != table_obj.name:
+                        continue
+                    stored = row.values.get(index.column)
+                    if isinstance(stored, StoredDocument):
+                        index.remove_document(stored.doc_id,
+                                              stored.document)
+                for index in self.rel_indexes.values():
+                    if index.table == table_obj.name:
+                        index.remove_row(row.row_id,
+                                         row.values[index.column])
+                table_obj.remove_row(row)
+            if victims:
+                self.version += 1
+            return len(victims)
 
     # ------------------------------------------------------------------
-    # Lookup helpers
+    # Query entry points (readers: shared lock)
     # ------------------------------------------------------------------
 
-    def documents(self, table: str, column: str) -> list[StoredDocument]:
-        table_obj = self.table(table)
-        key = column.lower()
-        if not table_obj.column_type(key).is_xml:
-            raise CatalogError(f"{table}.{column} is not an XML column")
-        return [row.values[key] for row in table_obj.rows
-                if isinstance(row.values.get(key), StoredDocument)]
-
-    def xmlcolumn(self, reference: str, stats=None) -> list[Item]:
-        """db2-fn:xmlcolumn: the column's documents as a sequence."""
-        table, column = self._split_reference(reference)
-        stored_docs = self.documents(table, column)
-        if stats is not None:
-            stats.docs_scanned += len(stored_docs)
-        if METRICS.enabled:
-            METRICS.inc("docs.scanned", len(stored_docs))
-        return [stored.document for stored in stored_docs]
-
-    def _split_reference(self, reference: str) -> tuple[str, str]:
-        parts = reference.split(".")
-        if len(parts) != 2:
-            raise CatalogError(
-                f"xmlcolumn reference must be 'TABLE.COLUMN', got "
-                f"{reference!r}")
-        return parts[0], parts[1]
-
-    def docs_with_path(self, table: str, column: str, pattern) -> int:
-        """How many of the column's documents contain ≥1 node matching
-        ``pattern`` (an XMLPATTERN string or parsed PathPattern) — the
-        structural fraction the cost model folds into probe estimates."""
-        matcher = PatternMatcher(self._as_pattern(pattern))
-        count = 0
-        for stored in self.documents(table, column):
-            summary = get_summary(stored.document, build=True)
-            if summary is not None and summary.has_matching(matcher):
-                count += 1
-        return count
-
-    def path_cardinality(self, table: str, column: str, pattern) -> int:
-        """Total node count matching ``pattern`` across the column's
-        documents, answered from per-document path summaries."""
-        matcher = PatternMatcher(self._as_pattern(pattern))
-        total = 0
-        for stored in self.documents(table, column):
-            summary = get_summary(stored.document, build=True)
-            if summary is not None:
-                total += summary.count_matching(matcher)
-        return total
-
-    @staticmethod
-    def _as_pattern(pattern):
-        if isinstance(pattern, str):
-            from ..core.patterns import parse_xmlpattern
-            return parse_xmlpattern(pattern)
-        return pattern
-
-    def xml_indexes_on(self, table: str, column: str) -> list[XmlIndex]:
-        return [index for index in self.xml_indexes.values()
-                if index.table == table.lower()
-                and index.column == column.lower()]
-
-    def rel_indexes_on(self, table: str, column: str
-                       ) -> list[RelationalIndex]:
-        return [index for index in self.rel_indexes.values()
-                if index.table == table.lower()
-                and index.column == column.lower()]
-
-    # ------------------------------------------------------------------
-    # Query entry points
-    # ------------------------------------------------------------------
+    def snapshot(self) -> Snapshot:
+        """A consistent COW view of catalog + rows at this instant."""
+        with self._rwlock.read():
+            return Snapshot(self)
 
     def xquery(self, query: str, use_indexes: bool = True,
                cost_based: bool = False,
@@ -304,19 +287,76 @@ class Database:
         mode uses every eligible index.  ``rewrite_views=True`` enables
         the §3.6 view-flattening rewrite.  ``tracer`` (a
         :class:`repro.obs.trace.Tracer`) records per-stage spans.
+
+        Runs under the shared read lock: any number of queries proceed
+        in parallel; DDL/ingest writers are excluded for the duration.
         """
-        from ..planner.plan import execute_xquery
-        return execute_xquery(self, query, use_indexes=use_indexes,
-                              cost_based=cost_based,
-                              prefilter_threshold=prefilter_threshold,
-                              rewrite_views=rewrite_views,
-                              tracer=tracer)
+        with self._rwlock.read():
+            return super().xquery(
+                query, use_indexes=use_indexes, cost_based=cost_based,
+                prefilter_threshold=prefilter_threshold,
+                rewrite_views=rewrite_views, tracer=tracer)
+
+    def xquery_parallel(self, query: str, max_workers: int = 4,
+                        use_indexes: bool = True, tracer=None):
+        """Run one XQuery fanned across document partitions.
+
+        Falls back to serial :meth:`xquery` when the query is not
+        provably partitionable (see :mod:`repro.planner.parallel`).
+        Results are merged in document order and are identical to the
+        serial answer."""
+        from ..planner.parallel import execute_xquery_parallel
+        return execute_xquery_parallel(self, query,
+                                       max_workers=max_workers,
+                                       use_indexes=use_indexes,
+                                       tracer=tracer)
 
     def sql(self, statement: str, use_indexes: bool = True, tracer=None):
-        """Run an SQL/XML SELECT or VALUES statement."""
-        from ..sql.executor import execute_sql
-        return execute_sql(self, statement, use_indexes=use_indexes,
-                           tracer=tracer)
+        """Run an SQL/XML statement.
+
+        SELECT/VALUES run under the shared read lock; INSERT/DELETE
+        statements take the exclusive write side up front (the lock
+        does not support read→write upgrades)."""
+        head = statement.lstrip().upper()
+        if head.startswith(("INSERT", "DELETE")):
+            guard = self._rwlock.write()
+        else:
+            guard = self._rwlock.read()
+        with guard:
+            return super().sql(statement, use_indexes=use_indexes,
+                               tracer=tracer)
+
+    def execute_many(self, statements, max_workers: int | None = None
+                     ) -> list:
+        """Execute a batch of statements, fanning across a thread pool.
+
+        ``statements`` is an iterable of XQuery or SQL/DDL texts; the
+        result list is in input order, each entry whatever the matching
+        single-statement entry point returns.  Read statements share
+        the lock and run concurrently; write statements serialize
+        through the exclusive side whenever the pool schedules them —
+        each statement is one atomic critical section, so a batch mixed
+        with writes is linearizable but its internal order is whatever
+        the pool produces.  ``max_workers=None`` picks
+        ``min(8, len(statements))``; ``1`` degrades to a serial loop.
+        """
+        statements = list(statements)
+        if max_workers is None:
+            max_workers = min(8, len(statements)) or 1
+        if max_workers <= 1 or len(statements) <= 1:
+            return [self.execute_any(statement)
+                    for statement in statements]
+        from concurrent.futures import ThreadPoolExecutor
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(self.execute_any, statements))
+
+    def execute_any(self, statement: str):
+        """Dispatch one statement text: SQL/DDL heads go through
+        :meth:`execute`, anything else is treated as XQuery."""
+        head = statement.lstrip().upper()
+        if head.startswith(("SELECT", "VALUES") + _WRITE_HEADS):
+            return self.execute(statement)
+        return self.xquery(statement)
 
     def explain_analyze(self, statement: str, use_indexes: bool = True):
         """Execute ``statement`` with full instrumentation and return an
@@ -325,51 +365,15 @@ class Database:
         from ..obs.explain import explain_analyze
         return explain_analyze(self, statement, use_indexes=use_indexes)
 
-    def describe(self) -> str:
-        """A human-readable catalog summary: tables, columns, indexes."""
-        lines = ["catalog:"]
-        for table in self.tables.values():
-            columns = ", ".join(f"{name} {sql_type}"
-                                for name, sql_type in
-                                table.columns.items())
-            lines.append(f"  table {table.name} ({columns}) "
-                         f"[{len(table.rows)} rows]")
-            for index in self.xml_indexes.values():
-                if index.table == table.name:
-                    lines.append(
-                        f"    xml index {index.name} ON "
-                        f"{index.column} USING XMLPATTERN "
-                        f"'{index.pattern}' AS {index.index_type} "
-                        f"[{len(index)} entries, "
-                        f"{index.skipped_nodes} skipped]")
-            for index in self.rel_indexes.values():
-                if index.table == table.name:
-                    lines.append(f"    rel index {index.name} ON "
-                                 f"{index.column} [{len(index)} entries]")
-        for schema in self.schemas.values():
-            lines.append(f"  schema {schema.name} "
-                         f"[{len(schema.declarations)} declarations]")
-        return "\n".join(lines)
-
     def explain(self, query: str) -> str:
         """Eligibility report + access plan for an SQL or XQuery text."""
         head = query.lstrip().upper()
-        if head.startswith(("SELECT", "VALUES")):
-            from ..sql.executor import explain_sql
-            return explain_sql(self, query)
-        from ..planner.plan import explain_xquery
-        return explain_xquery(self, query)
-
-    def sqlquery_items(self, statement: str) -> list[Item]:
-        """db2-fn:sqlquery: run SQL, concatenate its XML column values."""
-        result = self.sql(statement)
-        from ..sql.values import XMLValue
-        items: list[Item] = []
-        for row in result.rows:
-            for value in row:
-                if isinstance(value, XMLValue):
-                    items.extend(value.items)
-        return items
+        with self._rwlock.read():
+            if head.startswith(("SELECT", "VALUES")):
+                from ..sql.executor import explain_sql
+                return explain_sql(self, query)
+            from ..planner.plan import explain_xquery
+            return explain_xquery(self, query)
 
     def execute(self, statement: str):
         """Dispatch a DDL or query statement given as text."""

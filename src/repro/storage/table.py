@@ -33,7 +33,12 @@ class Row:
 
 
 class Table:
-    """A heap table: ordered rows, typed columns, XML columns allowed."""
+    """A heap table: ordered rows, typed columns, XML columns allowed.
+
+    ``rows`` is copy-on-write: mutators replace the list instead of
+    mutating it in place, so a snapshot that captured the old reference
+    keeps a frozen, fully consistent row set (see
+    :mod:`repro.storage.snapshot`)."""
 
     def __init__(self, name: str, columns: list[tuple[str, str]]):
         if not columns:
@@ -74,11 +79,13 @@ class Table:
                 row.values[key] = coerce_to_type(value, sql_type)
         for column_name in self.columns:
             row.values.setdefault(column_name, None)
-        self.rows.append(row)
+        self.rows = self.rows + [row]
         return row
 
     def remove_row(self, row: Row) -> None:
-        self.rows.remove(row)
+        if row not in self.rows:
+            raise ValueError(f"row {row.row_id} not in table {self.name}")
+        self.rows = [kept for kept in self.rows if kept is not row]
 
     def __len__(self) -> int:
         return len(self.rows)

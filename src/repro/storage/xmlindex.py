@@ -17,6 +17,14 @@ USING XMLPATTERN 'pattern' AS type`` where type is one of ``VARCHAR``,
   scan can apply the query's *more restrictive* path as a residual
   filter (§2.2: the index on ``//lineitem/@price`` answering a
   ``//order/lineitem/@price`` predicate).
+
+Concurrency contract: the underlying B+Trees are mutated in place (no
+copy-on-write), so index maintenance runs only on the write side of the
+database's reader-writer lock, and scans are safe exactly because every
+query entry point holds the read side for its full duration — a
+:class:`~repro.storage.snapshot.Snapshot` pins rows and catalog but
+*not* index interiors, and must only be queried while its creator keeps
+writers excluded (see the partition-parallel executor).
 """
 
 from __future__ import annotations

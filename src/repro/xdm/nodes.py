@@ -22,6 +22,7 @@ modelled exactly:
 from __future__ import annotations
 
 import itertools
+import threading
 from typing import Iterator
 
 from ..errors import XQueryTypeError
@@ -29,6 +30,14 @@ from .atomic import AtomicValue, T_UNTYPED, cast, untyped
 from .qname import QName
 
 _NODE_IDS = itertools.count(1)
+
+#: Serializes lazy renumbering.  Two concurrent readers triggering
+#: ``_number_tree`` on the same tree would each mint their own
+#: ``_TreeStamp``, leaving the tree with *mixed* stamps — a later
+#: mutation's O(1) invalidation would then miss the nodes holding the
+#: other stamp.  The lock sits on the slow path only: already-numbered
+#: trees never touch it.
+_NUMBER_LOCK = threading.Lock()
 
 #: Element type annotation meaning "no schema validation applied".
 UNTYPED_ELEMENT = "xdt:untyped"
@@ -80,7 +89,10 @@ class Node:
     def _ensure_structure(self) -> None:
         stamp = self._stamp
         if stamp is None or not stamp.valid:
-            _number_tree(self.root)
+            with _NUMBER_LOCK:
+                stamp = self._stamp  # double-check under the lock
+                if stamp is None or not stamp.valid:
+                    _number_tree(self.root)
 
     def document_order_key(self) -> tuple[int, int]:
         """(tree id, pre position) — comparable within and across trees."""

@@ -12,7 +12,7 @@ import re
 from decimal import Decimal
 from typing import Callable
 
-from ..errors import XQueryDynamicError, XQueryTypeError
+from ..errors import CastError, XQueryDynamicError, XQueryTypeError
 from ..xdm import atomic
 from ..xdm.atomic import AtomicValue
 from ..xdm.compare import value_compare
@@ -318,16 +318,32 @@ def _fn_ends_with(ctx, args):
         _one_string(args, 0).endswith(_one_string(args, 1)))]
 
 
+def _xpath_round(value: float) -> float:
+    """fn:round semantics: round half toward +INF (not banker's).
+
+    ``round(2.5) == 2`` in Python but ``fn:round(2.5) eq 3`` in XPath;
+    NaN and ±INF round to themselves."""
+    if math.isnan(value) or math.isinf(value):
+        return value
+    return math.floor(value + 0.5)
+
+
 @_register(FN_NS, "substring", 2, 3)
 def _fn_substring(ctx, args):
+    # F&O 7.4.3: characters whose position p satisfies
+    # round(start) <= p < round(start) + round(length).  The
+    # comparisons are done in double arithmetic so NaN bounds make
+    # every test false (empty result) and infinite bounds behave as
+    # unbounded — no special-casing, no ValueError.
     text = _one_string(args, 0)
-    start = round(float(singleton(atomize(args[1]), "substring").value))
+    start = _xpath_round(float(singleton(atomize(args[1]),
+                                         "substring").value))
     if len(args) == 3:
-        length = round(float(singleton(atomize(args[2]),
-                                       "substring").value))
+        length = _xpath_round(float(singleton(atomize(args[2]),
+                                              "substring").value))
         end = start + length
     else:
-        end = len(text) + 1
+        end = math.inf
     result = "".join(char for position, char in enumerate(text, start=1)
                      if start <= position < end)
     return [atomic.string(result)]
@@ -335,15 +351,22 @@ def _fn_substring(ctx, args):
 
 @_register(FN_NS, "substring-before", 2, 2)
 def _fn_substring_before(ctx, args):
+    # F&O 7.5.4: an empty separator yields the zero-length string.
     text, sep = _one_string(args, 0), _one_string(args, 1)
-    index = text.find(sep) if sep else -1
+    if not sep:
+        return [atomic.string("")]
+    index = text.find(sep)
     return [atomic.string(text[:index] if index >= 0 else "")]
 
 
 @_register(FN_NS, "substring-after", 2, 2)
 def _fn_substring_after(ctx, args):
+    # F&O 7.5.5: an empty separator yields $text itself ("" occurs
+    # before the first character), not "".
     text, sep = _one_string(args, 0), _one_string(args, 1)
-    index = text.find(sep) if sep else -1
+    if not sep:
+        return [atomic.string(text)]
+    index = text.find(sep)
     return [atomic.string(text[index + len(sep):] if index >= 0 else "")]
 
 
@@ -414,7 +437,9 @@ def _fn_number(ctx: DynamicContext, args):
         return [atomic.double(math.nan)]
     try:
         return [atomic.cast(value, atomic.T_DOUBLE)]
-    except Exception:
+    except CastError:
+        # Only a failed *cast* means NaN (F&O 14.4.1.2); a programming
+        # bug (TypeError, AttributeError, ...) must propagate.
         return [atomic.double(math.nan)]
 
 

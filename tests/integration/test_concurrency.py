@@ -1,0 +1,351 @@
+"""Concurrent serving layer: GIL-stress correctness tests.
+
+Three independent guarantees are pinned here, all under
+``sys.setswitchinterval(1e-6)`` so CPython preempts threads roughly
+every bytecode:
+
+1. ``execute_many`` with 8 workers returns results byte-identical to a
+   serial loop over the paper's 30 numbered queries;
+2. readers racing a DDL/ingest writer never observe a torn snapshot —
+   every query sees a document set that was the committed state at
+   *some* instant, never a mix;
+3. the partition-parallel executor's answers equal serial answers, and
+   its soundness gate refuses non-distributive queries.
+"""
+
+import sys
+import threading
+
+import pytest
+
+from repro import Database
+from repro.planner.plan import QueryResult
+
+XMLCOL = "db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+CUSTCOL = "db2-fn:xmlcolumn('CUSTOMER.CDOC')"
+
+#: The paper's 30 numbered queries (modulo the fixtures' table names),
+#: one entry per query number.  Error-raising variants (the paper's
+#: deliberate failure cases, e.g. Query 14's multi-id XMLCAST) are
+#: represented by the closest non-raising form the conformance tests
+#: run, so serial and batched execution can be compared structurally.
+PAPER_QUERIES = [
+    # 1 — the running example: eligible attribute-price predicate.
+    f"for $i in {XMLCOL}//order[lineitem/@price>100] return $i",
+    # 2 — wildcard attribute step (ineligible).
+    f"for $i in {XMLCOL}//order[lineitem/@*>100] return $i",
+    # 3 — string comparand vs DOUBLE index.
+    f'for $i in {XMLCOL}//order[lineitem/@price > "100" ] return $i',
+    # 4 — xs:double-casted XML join.
+    'for $i in db2-fn:xmlcolumn("ORDERS.ORDDOC")/order '
+    'for $j in db2-fn:xmlcolumn("CUSTOMER.CDOC")/customer '
+    "where $i/custid/xs:double(.) = $j/id/xs:double(.) return $i",
+    # 5 — XMLQuery in the select list (row per order).
+    "SELECT ordid, XMLQuery('$order//lineitem[@price > 100]' "
+    'passing orddoc as "order") FROM orders',
+    # 6 — single-row VALUES form.
+    "VALUES (XMLQuery('db2-fn:xmlcolumn(\"ORDERS.ORDDOC\")"
+    "//lineitem[@price > 100] '))",
+    # 7 — standalone row-per-lineitem XQuery.
+    f"{XMLCOL}//lineitem[@price > 100]",
+    # 8 — XMLEXISTS with node-sequence body (filters).
+    "SELECT ordid, orddoc FROM orders WHERE "
+    "XMLExists('$order//lineitem[@price > 100]' "
+    'passing orddoc as "order")',
+    # 9 — XMLEXISTS with boolean body (the everything pitfall).
+    "SELECT ordid, orddoc FROM orders WHERE "
+    "XMLExists('$order//lineitem/@price > 100' "
+    'passing orddoc as "order")',
+    # 10 — XMLQuery + XMLEXISTS combined.
+    "SELECT ordid, XMLQuery('$order//lineitem[@price > 100]' "
+    'passing orddoc as "order") FROM orders WHERE '
+    "XMLExists('$order//lineitem[@price > 100]' "
+    'passing orddoc as "order")',
+    # 11 — XMLTABLE row-per-lineitem.
+    "SELECT o.ordid, t.lineitem FROM orders o, "
+    "XMLTable('$order//lineitem[@price > 100]' "
+    'passing o.orddoc as "order" '
+    "COLUMNS \"lineitem\" XML BY REF PATH '.') as t(lineitem)",
+    # 12 — XMLTABLE with a column-level predicate (yields NULLs).
+    "SELECT o.ordid, t.lineitem FROM orders o, "
+    "XMLTable('$order' passing o.orddoc as \"order\" "
+    "COLUMNS \"lineitem\" XML BY REF "
+    "PATH './/lineitem[@price > 100]') as t(lineitem)",
+    # 13 — XQuery-style join (XMLEXISTS with a passed SQL value).
+    "SELECT p.name FROM products p, orders o "
+    "WHERE XMLExists('$order//lineitem/product[id eq $pid]' "
+    'passing o.orddoc as "order", p.id as "pid")',
+    # 14 — SQL-style join via XMLCAST (single-lineitem order only).
+    "SELECT p.name FROM products p, orders o "
+    "WHERE ordid = 4 AND p.id = XMLCast(XMLQuery("
+    "'$order//lineitem/product/id' passing o.orddoc as \"order\") "
+    "as VARCHAR(13))",
+    # 15 — relational comparison of a casted custid.
+    "SELECT ordid FROM orders WHERE XMLCast(XMLQuery('$o//custid[1]' "
+    "passing orddoc as \"o\") as DOUBLE) = 1001 AND ordid = 3",
+    # 16 — the XMLEXISTS spelling of the same restriction.
+    "SELECT ordid FROM orders WHERE "
+    "XMLExists('$o//custid[. = 1001]' passing orddoc as \"o\")",
+    # 17 — for-bound path predicate (index-eligible).
+    f"for $doc in {XMLCOL} "
+    "where $doc//lineitem/@price > 100 return $doc//product/id",
+    # 18 — let-bound variant of 17.
+    f"for $doc in {XMLCOL} "
+    "let $p := $doc//lineitem/@price where $p > 100 "
+    "return $doc//product/id",
+    # 19 — constructor outer-join shape.
+    f"for $ord in {XMLCOL}/order "
+    "return <result>{{ $ord/custid }}</result>".replace("{{", "{")
+    .replace("}}", "}"),
+    # 20 — conditional constructor content.
+    f"for $ord in {XMLCOL}/order "
+    "return if ($ord/lineitem/@price > 100) then $ord else ()",
+    # 21 — nested FLWOR as binding sequence.
+    f"for $ord in (for $o in {XMLCOL}/order "
+    "where $o/custid = 1001 return $o) "
+    "return $ord/lineitem",
+    # 22 — constructed document queried in place.
+    "let $order := <neworder>{ "
+    f"for $li in {XMLCOL}//lineitem[@price > 100] return $li "
+    "}</neworder> return $order/lineitem/@price/data(.)",
+    # 23/26 — the §3.6 constructed view, filtered.
+    "let $view := for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+    "/order/lineitem return <item>{ $i/@quantity, "
+    "<pid>{ $i/product/id/data(.) }</pid> }</item> "
+    "for $j in $view where $j/pid = '17' return $j",
+    # 24/27 — the flattened rewrite of the view.
+    "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/lineitem "
+    "where $i/product/id = '17' return $i",
+    # 25 — absolute path from a column document.
+    f"for $d in {XMLCOL} return $d/order/custid",
+    # 26 — distinct customer names via a second column.
+    f"for $c in {CUSTCOL}/customer return $c/name",
+    # 27 — string-comparison join across columns.
+    f"for $i in {XMLCOL}/order for $j in {CUSTCOL}/customer "
+    "where $i/custid = $j/id return $j/name",
+    # 28 — quantified predicate.
+    f"for $o in {XMLCOL}/order "
+    'where some $p in $o//@price satisfies $p = "150" return $o',
+    # 29 — aggregation over the collection.
+    f"count({XMLCOL}//lineitem)",
+    # 30 — order by over a computed key.
+    f"for $o in {XMLCOL}/order "
+    "order by count($o//lineitem) descending, string($o/custid[1]) "
+    "return <o>{ $o/custid }</o>",
+]
+
+
+def rendered(result) -> tuple:
+    """A byte-comparable rendering of either result kind."""
+    if isinstance(result, QueryResult):
+        return ("xquery", result.serialized())
+    return ("sql", tuple(result.columns),
+            tuple(tuple(row) for row in result.serialize_rows()))
+
+
+@pytest.fixture()
+def fast_switching():
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(1e-6)
+    yield
+    sys.setswitchinterval(previous)
+
+
+class TestExecuteManyMatchesSerial:
+    def test_thirty_paper_queries_byte_identical(self, indexed_db,
+                                                 fast_switching):
+        assert len(PAPER_QUERIES) == 30
+        serial = [rendered(indexed_db.execute_any(query))
+                  for query in PAPER_QUERIES]
+        batched = indexed_db.execute_many(PAPER_QUERIES, max_workers=8)
+        assert [rendered(result) for result in batched] == serial
+
+    def test_repeated_interleavings(self, indexed_db, fast_switching):
+        # Shuffle-free repetition: thread scheduling differs run to
+        # run; results must not.
+        subset = PAPER_QUERIES[:8] * 3
+        serial = [rendered(indexed_db.execute_any(query))
+                  for query in subset]
+        for _ in range(3):
+            batched = indexed_db.execute_many(subset, max_workers=8)
+            assert [rendered(result) for result in batched] == serial
+
+    def test_single_worker_degrades_to_serial_loop(self, indexed_db):
+        queries = PAPER_QUERIES[:3]
+        serial = [rendered(indexed_db.execute_any(query))
+                  for query in queries]
+        batched = indexed_db.execute_many(queries, max_workers=1)
+        assert [rendered(result) for result in batched] == serial
+
+
+class TestNoTornSnapshots:
+    ORDER = ("<order><custid>{cid}</custid>"
+             "<lineitem price=\"150\"><product><id>x{cid}</id></product>"
+             "</lineitem></order>")
+    #: One query, two counts that are equal in every committed state.
+    PAIRED = ("(count(db2-fn:xmlcolumn('ORDERS.ORDDOC')//custid), "
+              "count(db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem))")
+
+    def test_readers_never_see_partial_ingest(self, fast_switching):
+        db = Database()
+        db.create_table("orders", [("ordid", "INTEGER"),
+                                   ("orddoc", "XML")])
+        db.execute("CREATE INDEX li_price ON orders(orddoc) "
+                   "USING XMLPATTERN '//lineitem/@price' AS DOUBLE")
+        for i in range(5):
+            db.insert("orders", {"ordid": i,
+                                 "orddoc": self.ORDER.format(cid=i)})
+
+        stop = threading.Event()
+        writer_error = []
+
+        def writer():
+            cid = 1000
+            try:
+                while not stop.is_set():
+                    db.insert("orders",
+                              {"ordid": cid,
+                               "orddoc": self.ORDER.format(cid=cid)})
+                    cid += 1
+            except Exception as exc:  # surfaced by the main thread
+                writer_error.append(exc)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(15):
+                for result in db.execute_many([self.PAIRED] * 8,
+                                              max_workers=8):
+                    custids, lineitems = [
+                        int(item.value) for item in result.items]
+                    # Every committed state has custids == lineitems;
+                    # a torn read (row list mid-grow, index mid-update)
+                    # would break the pairing.
+                    assert custids == lineitems
+        finally:
+            stop.set()
+            thread.join()
+        assert not writer_error
+
+    def test_snapshot_is_frozen_while_writer_proceeds(self,
+                                                      fast_switching):
+        db = Database()
+        db.create_table("orders", [("ordid", "INTEGER"),
+                                   ("orddoc", "XML")])
+        for i in range(4):
+            db.insert("orders", {"ordid": i,
+                                 "orddoc": self.ORDER.format(cid=i)})
+        snapshot = db.snapshot()
+        before = snapshot.xquery(self.PAIRED).serialized()
+        for i in range(4, 10):
+            db.insert("orders", {"ordid": i,
+                                 "orddoc": self.ORDER.format(cid=i)})
+        assert snapshot.xquery(self.PAIRED).serialized() == before
+        assert snapshot.version < db.version
+
+    def test_snapshot_rejects_writes(self):
+        from repro.errors import SQLError
+        db = Database()
+        db.create_table("orders", [("ordid", "INTEGER"),
+                                   ("orddoc", "XML")])
+        snapshot = db.snapshot()
+        with pytest.raises(SQLError) as excinfo:
+            snapshot.sql("INSERT INTO orders (ordid, orddoc) "
+                         "VALUES (1, NULL)")
+        assert excinfo.value.sqlstate == "25006"
+
+
+class TestPartitionParallel:
+    PARTITIONABLE = [
+        f"for $i in {XMLCOL}//order[lineitem/@price>100] return $i",
+        f"{XMLCOL}//lineitem[@price > 100]",
+        f"for $o in {XMLCOL}/order where $o/custid = 1001 "
+        "return $o/lineitem",
+        f"for $d in {XMLCOL} return <r>{{ $d//product/id }}</r>"
+        .replace("{{", "{").replace("}}", "}"),
+        f"{XMLCOL}/order/custid",
+    ]
+
+    def test_parallel_matches_serial(self, indexed_db, fast_switching):
+        for query in self.PARTITIONABLE:
+            serial = indexed_db.xquery(query).serialized()
+            for workers in (2, 4, 8):
+                parallel = indexed_db.xquery_parallel(
+                    query, max_workers=workers)
+                assert parallel.serialized() == serial, query
+
+    def test_parallel_preserves_prefilter_stats(self, indexed_db):
+        query = f"for $i in {XMLCOL}//order[lineitem/@price>100] return $i"
+        result = indexed_db.xquery_parallel(query, max_workers=4)
+        assert result.stats.indexes_used == ["li_price"]
+        assert result.stats.docs_scanned == 1  # prefiltered before fanout
+
+    def test_gate_refuses_order_by(self, indexed_db):
+        from repro.core.querycache import compile_query
+        from repro.planner.parallel import partition_reference
+        query = (f"for $o in {XMLCOL}/order "
+                 "order by string($o/custid[1]) return $o")
+        assert partition_reference(compile_query(query).module) is None
+        # ... and the entry point still answers correctly via serial.
+        assert (indexed_db.xquery_parallel(query, max_workers=4)
+                .serialized() ==
+                indexed_db.xquery(query).serialized())
+
+    def test_gate_refuses_sqlquery_and_multi_column(self, indexed_db):
+        from repro.core.querycache import compile_query
+        from repro.planner.parallel import partition_reference
+        nested_sql = ("for $c in db2-fn:sqlquery("
+                      "\"SELECT cdoc FROM customer\")/customer "
+                      "return $c/name")
+        assert partition_reference(
+            compile_query(nested_sql).module) is None
+        two_columns = (f"for $i in {XMLCOL}/order "
+                       f"for $j in {CUSTCOL}/customer "
+                       "where $i/custid = $j/id return $j/name")
+        assert partition_reference(
+            compile_query(two_columns).module) is None
+        global_filter = f"{XMLCOL}[3]"
+        assert partition_reference(
+            compile_query(global_filter).module) is None
+
+    def test_gate_accepts_canonical_shapes(self):
+        from repro.core.querycache import compile_query
+        from repro.planner.parallel import partition_reference
+        for query in self.PARTITIONABLE:
+            assert partition_reference(
+                compile_query(query).module) == "ORDERS.ORDDOC", query
+
+    def test_parallel_while_writer_ingests(self, fast_switching):
+        db = Database()
+        db.create_table("orders", [("ordid", "INTEGER"),
+                                   ("orddoc", "XML")])
+        for i in range(12):
+            db.insert("orders", {
+                "ordid": i,
+                "orddoc": TestNoTornSnapshots.ORDER.format(cid=i)})
+        query = ("for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order "
+                 "where $o/lineitem/@price > 100 return $o/custid")
+        stop = threading.Event()
+
+        def writer():
+            cid = 5000
+            while not stop.is_set():
+                db.insert("orders", {
+                    "ordid": cid,
+                    "orddoc": TestNoTornSnapshots.ORDER.format(cid=cid)})
+                cid += 1
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(10):
+                result = db.xquery_parallel(query, max_workers=4)
+                # Result counts grow monotonically with ingest but each
+                # answer must be internally consistent: every custid
+                # unique, sequence strictly ordered by insertion.
+                values = [item.string_value() for item in result.items]
+                assert values == sorted(set(values), key=values.index)
+                assert len(values) == len(set(values))
+        finally:
+            stop.set()
+            thread.join()
