@@ -5,7 +5,8 @@ Subcommands:
 * ``demo`` — build the paper's 3-table schema with generated data and
   run the Query 1 index-vs-scan comparison;
 * ``load DIR`` + ``query`` / ``sql`` / ``explain`` / ``advise`` /
-  ``describe`` — load every ``*.xml`` file under a directory into a
+  ``lint`` / ``describe`` — load every ``*.xml`` file under a
+  directory into a
   single-column ``docs(doc XML)`` table (with optional indexes) and run
   statements against it.
 
@@ -50,6 +51,8 @@ def build_parser() -> argparse.ArgumentParser:
             ("sql", "run an SQL/XML statement"),
             ("explain", "explain index eligibility and the plan"),
             ("advise", "run the Tips 1-12 advisor"),
+            ("lint", "static-check a statement (reason-coded "
+                     "errors and pitfall warnings)"),
             ("describe", "print the catalog")]:
         sub = commands.add_parser(name, help=help_text)
         sub.add_argument("--load", metavar="DIR", default=None,
@@ -74,6 +77,9 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--trace", metavar="FILE", default=None,
                              help="write the span trace as JSON to "
                                   "FILE ('-' for stdout)")
+        if name == "lint":
+            sub.add_argument("--json", action="store_true",
+                             help="emit findings as a JSON array")
         if name == "query":
             sub.add_argument("--workers", type=int, default=1,
                              metavar="N",
@@ -123,6 +129,25 @@ def run_demo(orders: int, out=sys.stdout) -> None:
     print(database.explain(query), file=out)
 
 
+def run_lint(database: Database, statement: str,
+             as_json: bool = False, out=sys.stdout) -> int:
+    """``repro lint``: print findings; exit 1 on error-severity ones."""
+    import json
+
+    from .static import lint_statement
+    findings = lint_statement(statement, database=database)
+    if as_json:
+        print(json.dumps([finding.to_dict() for finding in findings],
+                         indent=2), file=out)
+    elif not findings:
+        print("clean: no static errors or pitfall warnings", file=out)
+    else:
+        for finding in findings:
+            print(str(finding), file=out)
+    return 1 if any(finding.severity == "error"
+                    for finding in findings) else 0
+
+
 def main(argv: list[str] | None = None, out=sys.stdout) -> int:
     arguments = build_parser().parse_args(argv)
     if arguments.command == "demo":
@@ -149,6 +174,9 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
         for item in items:
             print(str(item), file=out)
         return 0
+    if arguments.command == "lint":
+        return run_lint(database, arguments.statement,
+                        as_json=arguments.json, out=out)
     from .obs.metrics import METRICS, enabled_metrics
     from .obs.trace import Tracer
 

@@ -17,10 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..xquery import ast as xast
-from ..xquery.parser import parse_xquery
 from .between import detect_between
 from .eligibility import analyze_candidates
-from .predicates import PredicateContext, extract_candidates
+from .predicates import PredicateContext
 from .report import Reason
 
 #: Tip number -> the paper's wording, abbreviated.
@@ -81,8 +80,14 @@ def advise(database, query: str, language: str = "auto") -> list[Advice]:
         candidates = extract_sql_candidates(database, query)
         module = None
     else:
-        module = parse_xquery(query)
-        candidates = extract_candidates(module)
+        # The compiled-query cache applies static refinement: the
+        # advisor sees inference-backed comparison types (a let-hoisted
+        # cast no longer reads as an uncast join — Tip 1 verdicts come
+        # from the type system, not surface syntax).
+        from .querycache import compile_query
+        compiled = compile_query(query)
+        module = compiled.module
+        candidates = list(compiled.candidates)
 
     advice: list[Advice] = []
     seen: set[tuple] = set()

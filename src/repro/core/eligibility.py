@@ -14,10 +14,18 @@ decomposes this exactly as Section 2.2 and Section 3 do:
    numeric comparisons, a VARCHAR index serves string comparisons and
    purely structural (existence) predicates, and an unknown comparison
    type (an uncast join) serves nothing — Tip 1.
+
+Comparison types come from static inference, not surface syntax: the
+compiled-query cache (:mod:`repro.core.querycache`) runs
+:func:`repro.static.infer.refine_candidates` over the extracted
+candidates, so a ``let``-hoisted cast or a folded constant yields the
+same Definition-1 verdict as an inline ``xs:double(.)`` — only a
+genuinely untyped operand is rejected as ``TYPE_UNKNOWN``.
 """
 
 from __future__ import annotations
 
+from ..errors import ReproError
 from ..xquery import ast
 from ..xquery.parser import parse_xquery
 from .patterns import erase_namespaces, pattern_contains
@@ -86,7 +94,31 @@ def _classify_pattern_failure(index, candidate) -> Reason:
     if "attribute" in query_final_kinds and \
             "attribute" not in index_final_kinds:
         return Reason.ATTRIBUTE_AXIS
+    if "attribute" in index_final_kinds and \
+            "element" in query_final_kinds:
+        # The reverse §3.9 confusion: would the index contain the
+        # query if its final element step used the attribute axis?
+        flipped = _flip_final_to_attribute(candidate.path)
+        if flipped is not None and pattern_contains(index.pattern,
+                                                    flipped):
+            return Reason.ATTRIBUTE_AXIS
     return Reason.PATTERN_NOT_CONTAINED
+
+
+def _flip_final_to_attribute(path):
+    from .patterns import (LinearPattern, PathPattern, PatternStep,
+                           StepTest)
+    alternatives = []
+    for alternative in path.alternatives:
+        steps = alternative.steps
+        final = steps[-1] if steps else None
+        if final is None or final.test.kind != "element":
+            return None
+        flipped = StepTest("attribute", final.test.uri,
+                           final.test.local)
+        alternatives.append(LinearPattern(
+            steps[:-1] + (PatternStep(flipped, final.gap),)))
+    return PathPattern(tuple(alternatives))
 
 
 def _check_type(index, candidate: PredicateCandidate) -> Reason | None:
@@ -117,7 +149,7 @@ def analyze_candidates(database, candidates: list[PredicateCandidate],
             context=candidate.context.value)
         try:
             indexes = database.xml_indexes_on(table, column)
-        except Exception:
+        except ReproError:
             indexes = []
         for index in indexes:
             predicate_report.verdicts.append(check_index(index, candidate))

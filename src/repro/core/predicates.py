@@ -25,6 +25,7 @@ import enum
 import itertools
 from dataclasses import dataclass, field, replace
 
+from ..errors import ReproError
 from ..xdm import atomic
 from ..xdm.atomic import AtomicValue
 from ..xquery import ast
@@ -651,7 +652,7 @@ def _literal_value(expr) -> AtomicValue | None:
                                                      ast.Literal):
         try:
             return atomic.cast(expr.operand.value, expr.type_name)
-        except Exception:
+        except ReproError:
             return None
     if isinstance(expr, ast.FunctionCall) and len(expr.args) == 1 and \
             isinstance(expr.args[0], ast.Literal):
@@ -660,7 +661,7 @@ def _literal_value(expr) -> AtomicValue | None:
             try:
                 return atomic.cast(expr.args[0].value,
                                    _index_to_xdm_type(cast_type))
-            except Exception:
+            except ReproError:
                 return None
     return None
 

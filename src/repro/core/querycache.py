@@ -69,8 +69,16 @@ def compile_query(source: str) -> CompiledQuery:
                 METRICS.inc("querycache.hits")
             return entry
     module = parse_xquery(source)
+    from ..static.infer import refine_candidates
     from .predicates import extract_candidates
-    entry = CompiledQuery(source, module, tuple(extract_candidates(module)))
+    candidates = extract_candidates(module)
+    # Static refinement is pure (DB-independent): inference fills in
+    # comparison types and probe constants that syntax-directed
+    # extraction could not see (let-hoisted casts, folded constants),
+    # so every compile_query consumer — eligibility, planner, advisor —
+    # gets the sharpened candidates.
+    refine_candidates(module, candidates)
+    entry = CompiledQuery(source, module, tuple(candidates))
     with _lock:
         _misses += 1
         if METRICS.enabled:

@@ -164,13 +164,18 @@ class ColumnPrefilter:
 
 def plan_prefilters(database, candidates: list[PredicateCandidate],
                     stats: ExecutionStats,
-                    cost_model=None) -> dict[str, ColumnPrefilter]:
+                    cost_model=None,
+                    path_facts=None) -> dict[str, ColumnPrefilter]:
     """Choose index probes per XML column from eligible candidates.
 
     With ``cost_model`` set (see :mod:`repro.planner.cost`), probes
     whose estimated surviving-document fraction exceeds the model's
     threshold are skipped — an almost-unselective prefilter costs an
-    index scan but saves nothing.
+    index scan but saves nothing.  ``path_facts`` (the
+    ``docs_with_path`` map of a
+    :class:`repro.static.infer.StaticFacts`) seeds the cost model's
+    document-coverage cap from counts the static pass already
+    computed, instead of re-querying the summaries.
     """
     betweens = detect_between(candidates)
     between_members: dict[int, object] = {}
@@ -207,11 +212,14 @@ def plan_prefilters(database, candidates: list[PredicateCandidate],
             table_name, _sep2, column_name = candidate.column.partition(".")
             total_docs = len(database.documents(table_name, column_name))
             docs_with_path = None
-            if candidate.path is not None:
+            if path_facts is not None:
+                docs_with_path = path_facts.get(
+                    (candidate.column, str(candidate.path)))
+            if docs_with_path is None and candidate.path is not None:
                 try:
                     docs_with_path = database.docs_with_path(
                         table_name, column_name, candidate.path)
-                except Exception:
+                except ReproError:
                     docs_with_path = None  # no summaries: histogram only
             estimate = cost_model.estimate_probe(
                 chosen_index, probe.low, probe.high, total_docs,
@@ -402,14 +410,14 @@ def _make_probe_estimator(database):
         table, _sep, column_name = column.partition(".")
         try:
             total_docs = len(database.documents(table, column_name))
-        except Exception:
+        except ReproError:
             return {}
         docs_with_path = None
         if probe.path_filter is not None:
             try:
                 docs_with_path = database.docs_with_path(
                     table, column_name, probe.path_filter)
-            except Exception:
+            except ReproError:
                 docs_with_path = None
         probe_estimate = model.estimate_probe(
             probe.index, probe.low, probe.high, total_docs,
@@ -421,6 +429,26 @@ def _make_probe_estimator(database):
         return attrs
 
     return estimate
+
+
+def _annotate_static_bounds(module, database, span) -> None:
+    """Attach inferred result-cardinality bounds to a trace span.
+
+    Traced runs only (EXPLAIN ANALYZE / ``--trace``): full inference
+    walks the AST and consults path summaries, which the untraced hot
+    path must not pay for.
+    """
+    from ..static.infer import infer_module
+    try:
+        inference = infer_module(module, database=database,
+                                 report_unknown_vars=False)
+    except ReproError:
+        return
+    body_type = inference.body_type
+    span.set(inferred_type=str(body_type),
+             estimated_low=body_type.low,
+             estimated_high=("unbounded" if body_type.high is None
+                             else body_type.high))
 
 
 def execute_xquery(database, query: str,
@@ -471,23 +499,51 @@ def execute_xquery(database, query: str,
             candidates = extract_candidates(module)
     runtime_db = database
     if use_indexes:
+        from ..static.infer import static_prefilter_facts
         cost_model = None
         if cost_based:
             from .cost import CostModel
             cost_model = CostModel(prefilter_threshold=prefilter_threshold)
         if tracer is not None:
+            with tracer.span("static-analysis") as span:
+                facts = static_prefilter_facts(database, candidates)
+                span.set(checks=facts.checked,
+                         empty_columns=len(facts.empty_columns))
+                _annotate_static_bounds(module, database, span)
+        else:
+            facts = static_prefilter_facts(database, candidates)
+        if METRICS.enabled and facts.checked:
+            METRICS.inc("static.checks", facts.checked)
+        if tracer is not None:
             with tracer.span("plan") as span:
-                prefilters = plan_prefilters(database, candidates, stats,
-                                             cost_model=cost_model)
+                prefilters = plan_prefilters(
+                    database, candidates, stats, cost_model=cost_model,
+                    path_facts=facts.docs_with_path)
                 span.set(prefilter_columns=len(prefilters),
                          cost_based=cost_based)
         else:
-            prefilters = plan_prefilters(database, candidates, stats,
-                                         cost_model=cost_model)
-        if prefilters:
+            prefilters = plan_prefilters(
+                database, candidates, stats, cost_model=cost_model,
+                path_facts=facts.docs_with_path)
+        pruned: dict[str, set[int]] = {}
+        for column, path_text in facts.empty_columns.items():
+            # A statically-empty filtering path behaves exactly like an
+            # index probe that returned zero documents, minus the scan:
+            # drop the column's probes and pin its document set to ∅.
+            prefilters.pop(column, None)
+            pruned[column] = set()
+            stats.note(f"static prune {column}: path '{path_text}' "
+                       f"matches no stored document; branch eliminated")
+            if METRICS.enabled:
+                METRICS.inc("static.empty_prunes")
+            if tracer is not None:
+                with tracer.span("static-prune", column=column,
+                                 path=path_text) as span:
+                    span.set(actual_rows=0, unit="documents")
+        if prefilters or pruned:
             estimator = (_make_probe_estimator(database)
                          if tracer is not None else None)
-            doc_filters: dict[str, set[int]] = {}
+            doc_filters: dict[str, set[int]] = dict(pruned)
             for column, prefilter in prefilters.items():
                 if tracer is not None:
                     with tracer.span("index-probe", column=column) as span:
@@ -529,13 +585,21 @@ def explain_xquery(database, query: str) -> str:
     candidates = list(compiled.candidates)
     report = analyze_candidates(database, candidates, query, "xquery")
     stats = ExecutionStats()
-    prefilters = plan_prefilters(database, candidates, stats)
+    from ..static.infer import static_prefilter_facts
+    facts = static_prefilter_facts(database, candidates)
+    prefilters = plan_prefilters(database, candidates, stats,
+                                 path_facts=facts.docs_with_path)
     lines = [report.explain(), "plan:"]
+    for column, path_text in facts.empty_columns.items():
+        prefilters.pop(column, None)
+        lines.append(f"  {column}: statically empty "
+                     f"(path '{path_text}' matches no stored document); "
+                     f"branch pruned")
     if prefilters:
         for column, prefilter in prefilters.items():
             lines.append(f"  {column}:")
             for note in prefilter.notes:
                 lines.append(f"    {note}")
-    else:
+    elif not facts.empty_columns:
         lines.append("  full collection scan")
     return "\n".join(lines)

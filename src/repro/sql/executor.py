@@ -33,7 +33,7 @@ from decimal import Decimal
 
 from ..core.eligibility import check_index
 from ..core.predicates import Origin, PredicateCandidate
-from ..errors import SQLCastError, SQLError
+from ..errors import ReproError, SQLCastError, SQLError
 from ..obs.metrics import METRICS
 from ..planner.plan import PrefilteredDatabase, plan_prefilters
 from ..planner.stats import ExecutionStats
@@ -686,7 +686,7 @@ class _SQLExecutor:
         if probe.kind == "rel":
             try:
                 value = self.eval_expr(probe.sql_expr, env)
-            except Exception:
+            except ReproError:
                 # The join key itself errors for this outer row (e.g.
                 # XMLCAST over a multi-item sequence).  Fall back to a
                 # scan so the error surfaces — or not — according to
@@ -710,13 +710,13 @@ class _SQLExecutor:
         try:
             values = atomize(Evaluator(module.prolog).evaluate(
                 candidate.operand_expr, ctx))
-        except Exception:
+        except ReproError:
             return None  # fall back to full scan of the inner table
         docs: set[int] = set()
         for value in values:
             try:
                 key = probe.index.key_for_value(value)
-            except Exception:
+            except ReproError:
                 continue
             docs |= probe.index.matching_documents(
                 key, key, path_filter=candidate.path, stats=self.stats)
@@ -1034,7 +1034,7 @@ def _cast_items_to_sql(items: list[Item], target: SQLType):
         return _atom_to_sql(atom, target)
     except SQLCastError:
         raise
-    except Exception as exc:
+    except Exception as exc:  # lint: broad-except-ok (typed re-wrap)
         raise SQLCastError(f"XMLCAST failed: {exc}") from exc
 
 

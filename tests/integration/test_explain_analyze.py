@@ -77,8 +77,8 @@ class TestQuery1Eligible:
     def test_stage_sequence(self, indexed_db):
         analyzed = indexed_db.explain_analyze(QUERY1)
         names = [child.name for child in analyzed.root.children]
-        assert names == ["parse", "plan", "index-probe",
-                         "residual-eval", "serialize"]
+        assert names == ["parse", "static-analysis", "plan",
+                         "index-probe", "residual-eval", "serialize"]
 
 
 class TestQuery2IneligibleWildcard:

@@ -102,8 +102,16 @@ def test_predicate_position_equivalence_in_for(collection):
         "for $i in db2-fn:xmlcolumn('T.D')//lineitem "
         "where $i/@price > 100 return $i")
     assert in_path.serialize() == in_where.serialize()
-    assert in_path.stats.indexes_used == ["idx"]
-    assert in_where.stats.indexes_used == ["idx"]
+    # When no document contains the path at all, the static-analysis
+    # pass prunes the branch before any index is probed; otherwise the
+    # index must serve both phrasings.
+    for result in (in_path, in_where):
+        if any("static prune" in note for note in
+               result.stats.plan_notes):
+            assert result.stats.indexes_used == []
+            assert len(result) == 0
+        else:
+            assert result.stats.indexes_used == ["idx"]
 
 
 @settings(max_examples=40, deadline=None)
