@@ -1,0 +1,129 @@
+"""Durability costs: group commit vs per-record fsync, recovery time.
+
+Two question shapes:
+
+* **Write path** — what does an fsync per committed insert cost, and
+  how much of it does group commit (one fsync per 256-record group)
+  buy back?  ``test_group_commit_5x_speedup`` pins the subsystem's
+  acceptance floor: batch mode must commit at least 5x the rows/sec of
+  ``always`` mode.
+* **Recovery path** — how does restart time scale with WAL length, and
+  how much does a fresh checkpoint save?  The same 400-row database is
+  recovered from a 400-record WAL vs from a checkpoint with an empty
+  WAL tail.
+
+Medians land in BENCH_results.json under the keys CI requires via
+``check_regression.py --require benchmarks/bench_durability.py``.
+"""
+
+import time
+
+import pytest
+
+from repro.durability import DurableDatabase
+from repro.workload import WorkloadGenerator
+
+ROWS_PER_CALL = 100
+
+
+def _open(directory, policy: str) -> DurableDatabase:
+    database = DurableDatabase(str(directory), fsync_policy=policy)
+    if "kv" not in database.tables:
+        database.create_table("kv", [("k", "INTEGER"),
+                                     ("v", "VARCHAR(64)")])
+    return database
+
+
+def _insert_rows(database, start: int, count: int) -> None:
+    for key in range(start, start + count):
+        database.insert("kv", {"k": key, "v": f"value-{key}"})
+
+
+def _committed_inserts(database, count: int) -> None:
+    _insert_rows(database, len(database.table("kv").rows), count)
+    database.sync()  # commit the tail regardless of policy
+
+
+@pytest.mark.parametrize("policy", ["always", "batch", "off"])
+def test_insert_100_committed(benchmark, tmp_path, policy):
+    with _open(tmp_path, policy) as database:
+        benchmark.pedantic(
+            lambda: _committed_inserts(database, ROWS_PER_CALL),
+            rounds=5, iterations=1, warmup_rounds=1)
+        assert len(database.table("kv").rows) == 6 * ROWS_PER_CALL
+
+
+def test_group_commit_5x_speedup(tmp_path):
+    """The subsystem's headline number: batch >= 5x always, rows/sec."""
+    rates = {}
+    for policy in ("always", "batch"):
+        with _open(tmp_path / policy, policy) as database:
+            _committed_inserts(database, 50)  # warm caches
+            start = time.perf_counter()
+            _committed_inserts(database, 400)
+            rates[policy] = 400 / (time.perf_counter() - start)
+    ratio = rates["batch"] / rates["always"]
+    print(f"\ncommitted inserts/sec: always={rates['always']:.0f} "
+          f"batch={rates['batch']:.0f} ({ratio:.1f}x)")
+    assert ratio >= 5.0, (
+        f"group commit must be >=5x per-record fsync, got {ratio:.2f}x")
+
+
+def _churned_orders(directory, checkpoint: bool) -> None:
+    """400 XML inserts, then 300 deleted: live state is 100 rows.
+
+    Without a checkpoint, recovery replays all 400 document parses to
+    rebuild 100 rows — the WAL remembers the churn; a checkpoint only
+    stores the survivors.  This is the scenario where checkpoint
+    freshness, not raw state size, sets the restart time.
+    """
+    generator = WorkloadGenerator(seed=20060912)
+    with DurableDatabase(str(directory),
+                         fsync_policy="batch") as database:
+        database.create_table("orders", [("ordid", "INTEGER"),
+                                         ("orddoc", "XML")])
+        products = [str(product) for product in range(17, 22)]
+        for ordid in range(400):
+            database.insert(
+                "orders",
+                {"ordid": ordid,
+                 "orddoc": generator.order_document(
+                     ordid, 1000 + ordid % 20, products)})
+        database.delete_rows(
+            "orders", lambda values: values["ordid"] % 4 != 0)
+        if checkpoint:
+            database.checkpoint()
+
+
+@pytest.fixture(scope="module")
+def long_wal_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("long-wal")
+    _churned_orders(directory, checkpoint=False)
+    return directory
+
+
+@pytest.fixture(scope="module")
+def checkpointed_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("checkpointed")
+    _churned_orders(directory, checkpoint=True)
+    return directory
+
+
+def _recover(directory) -> int:
+    with DurableDatabase(str(directory)) as database:
+        assert len(database.table("orders").rows) == 100
+        return database.last_recovery.replayed
+
+
+def test_recover_402_record_wal(benchmark, long_wal_dir):
+    replayed = benchmark.pedantic(lambda: _recover(long_wal_dir),
+                                  rounds=5, iterations=1,
+                                  warmup_rounds=1)
+    assert replayed == 402  # create_table + 400 inserts + delete
+
+
+def test_recover_fresh_checkpoint(benchmark, checkpointed_dir):
+    replayed = benchmark.pedantic(lambda: _recover(checkpointed_dir),
+                                  rounds=5, iterations=1,
+                                  warmup_rounds=1)
+    assert replayed == 0

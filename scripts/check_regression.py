@@ -21,7 +21,11 @@ produced the baseline — without it, CI machine variance would trip the
 gate on unchanged code.
 
 Benchmarks only in one file are reported but never fail the check
-(benchmarks get added and removed across PRs).
+(benchmarks get added and removed across PRs) — *except* suites named
+with ``--require PREFIX`` (repeatable): the fresh results must contain
+at least one benchmark whose key starts with that prefix, so a suite
+CI depends on (e.g. ``benchmarks/bench_durability.py``) cannot be
+silently deleted or skipped without tripping the gate.
 
 ``--against seed`` switches the reference from the baseline file's
 medians to the *seed-implementation* medians recorded inside the fresh
@@ -76,6 +80,23 @@ def check_against_seed(fresh: dict, tolerance: float) -> int:
     return 0
 
 
+def check_required(fresh: dict, prefixes: list[str]) -> int:
+    """Exit-code contribution of ``--require``: 0 ok, 1 missing."""
+    missing = []
+    keys = fresh.get("benchmarks", {})
+    for prefix in prefixes:
+        count = sum(1 for key in keys if key.startswith(prefix))
+        if count:
+            print(f"required suite present: {prefix} "
+                  f"({count} benchmark(s))")
+        else:
+            missing.append(prefix)
+    for prefix in missing:
+        print(f"REQUIRED suite missing from fresh results: {prefix}",
+              file=sys.stderr)
+    return 1 if missing else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -91,13 +112,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="reference medians: the baseline file, or "
                              "the seed_median_seconds recorded in the "
                              "fresh file (CI smoke gate)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="PREFIX",
+                        help="fail unless the fresh results contain a "
+                             "benchmark key starting with PREFIX "
+                             "(repeatable)")
     args = parser.parse_args(argv)
 
     baseline = load(args.baseline)
     fresh = load(args.fresh)
 
+    required_status = check_required(fresh, args.require)
+
     if args.against == "seed":
-        return check_against_seed(fresh, args.tolerance)
+        return check_against_seed(fresh, args.tolerance) or required_status
 
     scale = 1.0
     if not args.no_calibrate:
@@ -141,7 +169,7 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     print(f"\nall {len(shared)} shared benchmarks within "
           f"{args.tolerance:.0%} of baseline")
-    return 0
+    return required_status
 
 
 if __name__ == "__main__":

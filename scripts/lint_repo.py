@@ -1,7 +1,8 @@
 #!/usr/bin/env python
-"""Repo-specific lint: lock discipline, exception hygiene, obs gating.
+"""Repo-specific lint: lock discipline, exception hygiene, obs gating,
+fsync discipline.
 
-Three rules, all enforced over ``src/repro/`` with Python's own ``ast``
+Four rules, all enforced over ``src/repro/`` with Python's own ``ast``
 (no third-party linters, mirroring how ``repro lint`` reasons about
 query ASTs):
 
@@ -22,6 +23,15 @@ query ASTs):
    every ``METRICS.inc`` / ``METRICS.observe`` call must be lexically
    inside an ``if METRICS.enabled:`` test, so the disabled-metrics hot
    path never pays for counter bookkeeping.
+
+4. **Fsync discipline** (``src/repro/durability/`` except ``fsio.py``):
+   no builtin ``open()``, no ``os.*`` / ``shutil.*`` calls, and no
+   pathlib read/write/rename methods.  Crash safety hangs on every
+   write and rename of a durability file following the
+   write → fsync → rename → dir-fsync protocol, so those primitives
+   live only in ``durability/fsio.py`` where the protocol is enforced
+   and fault points are injected; a bare ``os.rename`` elsewhere is a
+   torn-state bug waiting for a power cut.
 
 Exit status 0 when clean, 1 with findings (one per line,
 ``path:line: rule — message``).
@@ -217,6 +227,46 @@ def check_metrics_gating(path: pathlib.Path,
 
 
 # ---------------------------------------------------------------------------
+# Rule 4: raw file primitives only inside durability/fsio.py
+# ---------------------------------------------------------------------------
+
+RAW_IO_MODULES = frozenset({"os", "shutil"})
+PATHLIB_IO_METHODS = frozenset({
+    "write_text", "write_bytes", "read_text", "read_bytes",
+    "rename", "replace", "unlink", "touch", "rmdir", "mkdir"})
+
+
+def check_fsync_discipline(path: pathlib.Path,
+                           tree: ast.Module) -> list[Finding]:
+    findings: list[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            findings.append(Finding(
+                path, node.lineno, "fsync-discipline",
+                "builtin open() in durability code; all file I/O goes "
+                "through durability/fsio.py, where the write→fsync→"
+                "rename protocol and fault points live"))
+        elif isinstance(func, ast.Attribute):
+            if (isinstance(func.value, ast.Name)
+                    and func.value.id in RAW_IO_MODULES):
+                findings.append(Finding(
+                    path, node.lineno, "fsync-discipline",
+                    f"{func.value.id}.{func.attr}() bypasses the fsync "
+                    f"discipline; use the durability/fsio.py helper"))
+            elif (func.attr in PATHLIB_IO_METHODS
+                    and not (isinstance(func.value, ast.Name)
+                             and func.value.id == "fsio")):
+                findings.append(Finding(
+                    path, node.lineno, "fsync-discipline",
+                    f".{func.attr}() on a path bypasses the fsync "
+                    f"discipline; use the durability/fsio.py helper"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
@@ -229,6 +279,8 @@ def lint_file(path: pathlib.Path) -> list[Finding]:
         findings.extend(check_lock_discipline(path, tree))
     if "obs" not in path.parts:
         findings.extend(check_metrics_gating(path, tree))
+    if "durability" in path.parts and path.name != "fsio.py":
+        findings.extend(check_fsync_discipline(path, tree))
     return findings
 
 

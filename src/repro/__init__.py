@@ -36,9 +36,9 @@ from .xmlio import serialize, serialize_sequence
 __version__ = "1.0.0"
 
 __all__ = [
-    "Database", "ReproError", "SQLError", "XMLParseError", "XQueryError",
-    "advise", "analyze_eligibility", "parse_xml", "serialize",
-    "serialize_sequence", "__version__",
+    "Database", "DurableDatabase", "ReproError", "SQLError",
+    "XMLParseError", "XQueryError", "advise", "analyze_eligibility",
+    "parse_xml", "serialize", "serialize_sequence", "__version__",
 ]
 
 
@@ -48,6 +48,9 @@ def __getattr__(name: str):
     if name == "Database":
         from .storage.catalog import Database
         return Database
+    if name == "DurableDatabase":
+        from .durability.engine import DurableDatabase
+        return DurableDatabase
     if name == "analyze_eligibility":
         from .core.eligibility import analyze_eligibility
         return analyze_eligibility

@@ -8,7 +8,13 @@ Subcommands:
   ``lint`` / ``describe`` — load every ``*.xml`` file under a
   directory into a
   single-column ``docs(doc XML)`` table (with optional indexes) and run
-  statements against it.
+  statements against it;
+* durability: ``--data DIR`` on any query subcommand opens (and
+  recovers) a durable database directory instead of an empty in-memory
+  one; ``ingest`` populates such a directory with the paper schema,
+  ``checkpoint`` writes an atomic checkpoint and truncates the WAL,
+  ``recover --verify`` replays and integrity-checks a directory, and
+  ``q1`` … ``q30`` answer the paper's numbered queries from one.
 
 Examples::
 
@@ -16,11 +22,12 @@ Examples::
     python -m repro query --load ./feeds \\
         --index "//item/title AS VARCHAR" \\
         "db2-fn:xmlcolumn('DOCS.DOC')//title"
-    python -m repro explain --load ./feeds \\
-        "db2-fn:xmlcolumn('DOCS.DOC')//item[title = 'x']"
     python -m repro query --load ./feeds --explain-analyze \\
         --metrics --trace trace.json \\
         "db2-fn:xmlcolumn('DOCS.DOC')//item[title = 'x']"
+    python -m repro ingest --data ./state
+    python -m repro q1 --data ./state
+    python -m repro recover --data ./state --verify
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ import sys
 from . import Database
 from .core.advisor import advise
 from .workload import OrderProfile, populate_paper_schema
+from .workload.paperqueries import load_paper_fixture, run_paper_query
 from .xmlio.serializer import serialize
 
 
@@ -55,6 +63,7 @@ def build_parser() -> argparse.ArgumentParser:
                      "errors and pitfall warnings)"),
             ("describe", "print the catalog")]:
         sub = commands.add_parser(name, help=help_text)
+        _add_data_arguments(sub)
         sub.add_argument("--load", metavar="DIR", default=None,
                          help="directory of *.xml files loaded into "
                               "docs(doc XML)")
@@ -88,7 +97,48 @@ def build_parser() -> argparse.ArgumentParser:
                                   "serial when not partitionable)")
         if name != "describe":
             sub.add_argument("statement", help="the query text")
+
+    ingest = commands.add_parser(
+        "ingest", help="populate a durable data directory with the "
+                       "paper schema (fixture docs, or --orders N "
+                       "generated ones) and checkpoint it")
+    _add_data_arguments(ingest, required=True)
+    ingest.add_argument("--orders", type=int, default=0,
+                        help="generate N orders instead of loading the "
+                             "engineered fixture documents")
+    ingest.add_argument("--customers", type=int, default=20)
+    ingest.add_argument("--products", type=int, default=10)
+
+    checkpoint = commands.add_parser(
+        "checkpoint", help="write an atomic checkpoint of a data "
+                           "directory and truncate its WAL")
+    _add_data_arguments(checkpoint, required=True)
+
+    recover = commands.add_parser(
+        "recover", help="recover a data directory (checkpoint + WAL "
+                        "replay) and report what was done")
+    _add_data_arguments(recover, required=True)
+    recover.add_argument("--verify", action="store_true",
+                         help="check rebuilt path summaries against "
+                              "the checkpoint (exit 1 on mismatch)")
+
+    for number in range(1, 31):
+        paper = commands.add_parser(
+            f"q{number}", help=f"answer paper query {number} from a "
+                               f"recovered data directory")
+        _add_data_arguments(paper, required=True)
     return parser
+
+
+def _add_data_arguments(sub, required: bool = False) -> None:
+    sub.add_argument("--data", metavar="DIR", default=None,
+                     required=required,
+                     help="durable database directory (WAL + "
+                          "checkpoints); recovered on open")
+    sub.add_argument("--fsync", choices=["always", "batch", "off"],
+                     default="always",
+                     help="WAL fsync policy for writes (default: "
+                          "always)")
 
 
 def load_directory(database: Database, directory: str,
@@ -148,18 +198,92 @@ def run_lint(database: Database, statement: str,
                     for finding in findings) else 0
 
 
+def run_ingest(arguments, out) -> int:
+    from .durability import DurableDatabase
+    with DurableDatabase(arguments.data,
+                         fsync_policy=arguments.fsync) as database:
+        if arguments.orders:
+            populate_paper_schema(database, orders=arguments.orders,
+                                  customers=arguments.customers,
+                                  products=arguments.products)
+        else:
+            load_paper_fixture(database)
+        rows = sum(len(table.rows)
+                   for table in database.tables.values())
+        info = database.checkpoint()
+        print(f"ingested {rows} rows into {len(database.tables)} "
+              f"tables; checkpoint at LSN {info.last_lsn} "
+              f"({info.bytes_written} bytes)", file=out)
+    return 0
+
+
+def run_checkpoint(arguments, out) -> int:
+    from .durability import DurableDatabase
+    with DurableDatabase(arguments.data,
+                         fsync_policy=arguments.fsync) as database:
+        print(database.last_recovery.render(), file=out)
+        info = database.checkpoint()
+        print(f"checkpoint at LSN {info.last_lsn}: {info.tables} "
+              f"table(s), {info.rows} row(s), {info.bytes_written} "
+              f"bytes", file=out)
+    return 0
+
+
+def run_recover(arguments, out) -> int:
+    from .durability import DurableDatabase
+    with DurableDatabase(arguments.data, fsync_policy=arguments.fsync,
+                         verify=arguments.verify) as database:
+        result = database.last_recovery
+        print(result.render(), file=out)
+        if result.verify is not None and not result.verify.ok:
+            return 1
+    return 0
+
+
+def run_paper_query_command(number: int, arguments, out) -> int:
+    from .durability import DurableDatabase
+    with DurableDatabase(arguments.data,
+                         fsync_policy=arguments.fsync) as database:
+        print(run_paper_query(database, number), file=out)
+        recovery = database.last_recovery
+        print(f"# recovered: checkpoint_lsn={recovery.checkpoint_lsn} "
+              f"replayed={recovery.replayed}", file=out)
+    return 0
+
+
 def main(argv: list[str] | None = None, out=sys.stdout) -> int:
     arguments = build_parser().parse_args(argv)
     if arguments.command == "demo":
         run_demo(arguments.orders, out=out)
         return 0
+    if arguments.command == "ingest":
+        return run_ingest(arguments, out)
+    if arguments.command == "checkpoint":
+        return run_checkpoint(arguments, out)
+    if arguments.command == "recover":
+        return run_recover(arguments, out)
+    if arguments.command.startswith("q") and \
+            arguments.command[1:].isdigit():
+        return run_paper_query_command(int(arguments.command[1:]),
+                                       arguments, out)
 
-    database = Database()
-    if arguments.load:
-        count = load_directory(database, arguments.load, arguments.index)
-        print(f"loaded {count} documents from {arguments.load}",
-              file=out)
+    with contextlib.ExitStack() as lifecycle:
+        if arguments.data:
+            from .durability import DurableDatabase
+            database = lifecycle.enter_context(
+                DurableDatabase(arguments.data,
+                                fsync_policy=arguments.fsync))
+        else:
+            database = Database()
+        if arguments.load:
+            count = load_directory(database, arguments.load,
+                                   arguments.index)
+            print(f"loaded {count} documents from {arguments.load}",
+                  file=out)
+        return _run_statement_command(arguments, database, out)
 
+
+def _run_statement_command(arguments, database, out) -> int:
     if arguments.command == "describe":
         print(database.describe(), file=out)
         return 0

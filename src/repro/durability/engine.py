@@ -1,0 +1,247 @@
+"""``DurableDatabase``: the in-memory engine plus WAL + checkpoints.
+
+Same public API as :class:`repro.storage.catalog.Database` — queries,
+snapshots and ``xquery_parallel`` are inherited untouched and keep
+their shared-read-lock / copy-on-write semantics.  Only the eight
+writer entry points are overridden, each with the same shape::
+
+    with self._rwlock.write():          # reentrant: nests the base op
+        result = super().op(...)        # apply in memory (may raise)
+        self._log({...})                # append the logical record
+        return result
+
+Holding the one exclusive lock across apply **and** log is what makes
+WAL order equal apply order (concurrent writers cannot interleave the
+two halves), and logging *after* a successful apply means failed
+operations — validation errors, duplicate DDL — never pollute the log:
+this is redo logging of committed operations only.
+
+``delete_rows`` has the one non-obvious record shape: an arbitrary
+Python predicate cannot be replayed, so the record stores the victim
+**row positions** within the table's row list.  Replay reconstructs
+rows in their original order (inserts are replayed in LSN order), so
+positions are deterministic.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from ..schema.schema import Schema
+from ..storage.catalog import Database
+from ..storage.table import Row, StoredDocument, Table
+from ..xmlio.serializer import serialize
+from . import fsio
+from .checkpoint import CheckpointInfo, write_checkpoint
+from .codec import encode_schema, encode_value
+from .faults import NO_FAULTS
+from .recovery import RecoveryResult, recover
+from .wal import WAL_NAME, WriteAheadLog
+
+__all__ = ["DurableDatabase"]
+
+
+class DurableDatabase(Database):
+    """A Database whose committed state survives restarts.
+
+    Opening a directory recovers whatever state it holds (checkpoint +
+    WAL tail); an empty directory starts an empty database.  See the
+    README "Durability & recovery" section for the on-disk format and
+    the fsync policy trade-offs.
+    """
+
+    def __init__(self, directory, *, fsync_policy: str = "always",
+                 group_size: int = 256, index_order: int = 64,
+                 faults=NO_FAULTS, verify: bool = False, tracer=None):
+        super().__init__(index_order=index_order)
+        self.directory = pathlib.Path(directory)
+        fsio.ensure_dir(self.directory)
+        self._faults = faults
+        #: Schemas used for per-document validation without being
+        #: registered in the catalog — checkpoints must persist them so
+        #: recovery can re-validate (re-annotate) those documents.
+        self._doc_schemas: dict[str, Schema] = {}
+        self._replaying = True
+        try:
+            self.last_recovery: RecoveryResult = recover(
+                self, self.directory, verify=verify, tracer=tracer)
+        finally:
+            self._replaying = False
+        self._wal = WriteAheadLog(
+            self.directory / WAL_NAME, fsync_policy=fsync_policy,
+            group_size=group_size, faults=faults,
+            start_lsn=self.last_recovery.last_lsn)
+
+    # ------------------------------------------------------------------
+    # Logged writers (apply under the write lock, then log)
+    # ------------------------------------------------------------------
+
+    def create_table(self, name: str,
+                     columns: list[tuple[str, str]]) -> Table:
+        with self._rwlock.write():
+            table = super().create_table(name, columns)
+            self._log({
+                "op": "create_table", "name": table.name,
+                "columns": [[column, str(sql_type)] for column, sql_type
+                            in table.columns.items()]})
+            return table
+
+    def drop_table(self, name: str) -> None:
+        with self._rwlock.write():
+            key = self.table(name).name
+            super().drop_table(name)
+            self._log({"op": "drop_table", "name": key})
+
+    def register_schema(self, schema: Schema) -> None:
+        with self._rwlock.write():
+            super().register_schema(schema)
+            self._log({"op": "register_schema",
+                       "schema": encode_schema(schema)})
+
+    def create_xml_index(self, name: str, table: str, column: str,
+                         pattern: str, index_type: str):
+        with self._rwlock.write():
+            index = super().create_xml_index(name, table, column,
+                                             pattern, index_type)
+            self._log({
+                "op": "create_xml_index", "name": index.name,
+                "table": index.table, "column": index.column,
+                "pattern": index.pattern_text,
+                "type": index.index_type})
+            return index
+
+    def create_relational_index(self, name: str, table: str,
+                                column: str):
+        with self._rwlock.write():
+            index = super().create_relational_index(name, table, column)
+            self._log({
+                "op": "create_relational_index", "name": index.name,
+                "table": index.table, "column": index.column})
+            return index
+
+    def drop_index(self, name: str) -> None:
+        with self._rwlock.write():
+            super().drop_index(name)
+            self._log({"op": "drop_index", "name": name.lower()})
+
+    def insert(self, table: str, values: dict[str, object],
+               schema=None) -> Row:
+        with self._rwlock.write():
+            row = super().insert(table, values, schema)
+            if self._replaying:
+                self._note_row_schemas(row, schema)
+                return row
+            record_values: dict[str, object] = {}
+            record_schemas: dict[str, dict] = {}
+            for key, value in row.values.items():
+                if isinstance(value, StoredDocument):
+                    record_values[key] = {
+                        "$xml": serialize(value.document)}
+                    if value.schema_name is not None:
+                        record_schemas[key] = self._note_schema(
+                            self._schema_for(schema, key))
+                else:
+                    record_values[key] = encode_value(value)
+            record = {"op": "insert", "table": self.table(table).name,
+                      "values": record_values}
+            if record_schemas:
+                record["schemas"] = record_schemas
+            self._log(record)
+            return row
+
+    def delete_rows(self, table: str, predicate=None) -> int:
+        with self._rwlock.write():
+            table_obj = self.table(table)
+            positions = [position for position, row
+                         in enumerate(table_obj.rows)
+                         if predicate is None or predicate(row.values)]
+            victims = [table_obj.rows[position]
+                       for position in positions]
+            count = self._remove_rows(table_obj, victims)
+            if count:
+                self._log({"op": "delete_rows",
+                           "table": table_obj.name,
+                           "positions": positions})
+            return count
+
+    def _delete_positions(self, table: str, positions: list[int]) -> int:
+        """Replay arm of ``delete_rows``: victims by row position."""
+        with self._rwlock.write():
+            table_obj = self.table(table)
+            victims = []
+            for position in positions:
+                if position >= len(table_obj.rows):
+                    from ..errors import DurabilityError
+                    raise DurabilityError(
+                        f"delete_rows replay: position {position} out "
+                        f"of range for table {table_obj.name!r} with "
+                        f"{len(table_obj.rows)} row(s)")
+                victims.append(table_obj.rows[position])
+            return self._remove_rows(table_obj, victims)
+
+    # ------------------------------------------------------------------
+    # Durability operations
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, tracer=None) -> CheckpointInfo:
+        """Write an atomic checkpoint and truncate the WAL.
+
+        Runs as one exclusive-writer section: the serialized state, the
+        recorded LSN, and the log truncation all describe the same
+        version."""
+        with self._rwlock.write():
+            self._wal.sync()
+            info = write_checkpoint(self, self.directory,
+                                    self._wal.last_lsn,
+                                    faults=self._faults, tracer=tracer)
+            self._faults.crash_point("checkpoint.before_wal_reset")
+            self._wal.reset(info.last_lsn)
+            self._faults.crash_point("checkpoint.after_wal_reset")
+            return info
+
+    def sync(self) -> None:
+        """Make every logged record durable regardless of policy."""
+        with self._rwlock.write():
+            self._wal.sync()
+
+    def close(self) -> None:
+        with self._rwlock.write():
+            self._wal.close()
+
+    def __enter__(self) -> "DurableDatabase":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _log(self, record: dict) -> None:
+        if self._replaying:
+            return
+        self._wal.append(record)
+
+    def _note_schema(self, schema: Schema) -> dict:
+        """The WAL reference for a validation schema.
+
+        Registered schemas are referenced by name; a schema passed
+        inline is embedded in the record and tracked so checkpoints
+        persist its definition."""
+        if self.schemas.get(schema.name) is schema:
+            return {"$ref": schema.name}
+        self._doc_schemas[schema.name] = schema
+        return encode_schema(schema)
+
+    def _note_row_schemas(self, row: Row, schema) -> None:
+        """During replay, still track inline validation schemas."""
+        for key, value in row.values.items():
+            if (isinstance(value, StoredDocument)
+                    and value.schema_name is not None):
+                resolved = self._schema_for(schema, key)
+                if (resolved is not None
+                        and self.schemas.get(resolved.name)
+                        is not resolved):
+                    self._doc_schemas[resolved.name] = resolved

@@ -90,3 +90,7 @@ class CatalogError(ReproError):
 
 class PatternSyntaxError(ReproError):
     """Raised for malformed XMLPATTERN index definitions."""
+
+
+class DurabilityError(ReproError):
+    """Corrupt or inconsistent WAL / checkpoint state on disk."""

@@ -31,6 +31,17 @@ of the trace/EXPLAIN ANALYZE contract documented in EXPERIMENTS.md):
 ``parallel.partitions``           worker partitions across all fanouts
 ``parallel.serial_fallbacks``     queries the partition gate refused
 ``parallel.seconds`` (histogram)  partition-parallel wall time
+``wal.appends``                   logical records appended to the WAL
+``wal.fsyncs``                    WAL fsync calls (group commit batches)
+``wal.bytes_written``             encoded record bytes written
+``wal.torn_bytes_truncated``      torn-tail bytes discarded by recovery
+``checkpoint.writes``             atomic checkpoints written
+``checkpoint.bytes_written``      serialized checkpoint bytes
+``checkpoint.loads``              checkpoints read back during recovery
+``recovery.runs``                 database-directory recoveries
+``recovery.records_replayed``     WAL records re-applied past checkpoint
+``recovery.records_skipped``      stale records below the checkpoint LSN
+``recovery.seconds`` (histogram)  end-to-end recovery wall time
 ================================  =========================================
 
 All mutation goes through one :class:`threading.Lock`; the compiled

@@ -249,6 +249,15 @@ class Database(ReadView):
             table_obj = self.table(table)
             victims = [row for row in table_obj.rows
                        if predicate is None or predicate(row.values)]
+            return self._remove_rows(table_obj, victims)
+
+    def _remove_rows(self, table_obj: Table, victims: list[Row]) -> int:
+        """Remove already-selected rows with index maintenance.
+
+        Split out of :meth:`delete_rows` so the durability layer can
+        delete by logged row position on replay (a Python predicate is
+        not representable in a WAL record)."""
+        with self._rwlock.write():
             for row in victims:
                 for index in self.xml_indexes.values():
                     if index.table != table_obj.name:

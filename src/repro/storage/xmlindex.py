@@ -73,6 +73,10 @@ class XmlIndex:
         self.name = name
         self.table = table
         self.column = column
+        #: The original XMLPATTERN text — the checkpoint records it so
+        #: recovery can replay the defining DDL instead of serializing
+        #: B+Tree pages.
+        self.pattern_text = pattern_text
         self.pattern: PathPattern = parse_xmlpattern(pattern_text)
         #: Long-lived matcher: one NFA run per distinct path shape over
         #: the whole life of the index, id-keyed hits afterwards.

@@ -3,7 +3,10 @@
 from .generator import (OrderProfile, Workload, WorkloadGenerator,
                         intl_customer_schema, populate_paper_schema,
                         us_customer_schema)
+from .paperqueries import (PAPER_INDEX_DDL, PAPER_QUERIES,
+                           load_paper_fixture, run_paper_query)
 
 __all__ = ["OrderProfile", "Workload", "WorkloadGenerator",
            "intl_customer_schema", "populate_paper_schema",
-           "us_customer_schema"]
+           "us_customer_schema", "PAPER_INDEX_DDL", "PAPER_QUERIES",
+           "load_paper_fixture", "run_paper_query"]

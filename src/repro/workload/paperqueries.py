@@ -1,0 +1,251 @@
+"""The paper's 30 numbered queries and its engineered fixture data.
+
+One canonical home for what was previously embedded in the test suite:
+the fixture documents that hit every edge the paper discusses (mixed-
+content prices, string prices, multi-price elements, missing prices),
+the running-example index DDL, and the exact text of Queries 1–30.
+
+Three consumers share it:
+
+* ``tests/conftest.py`` builds its ``paper_db`` / ``indexed_db``
+  fixtures from :func:`load_paper_fixture`;
+* the CLI's ``repro ingest`` / ``repro q1`` … ``repro q30`` commands
+  answer paper queries from a durable data directory;
+* the crash-matrix test uses :func:`run_paper_query`'s canonical
+  output as the byte-identity oracle between a recovered database and
+  an uncrashed one.
+
+:func:`run_paper_query` returns a *canonical string* — serialized
+items (or tab-separated SQL rows) with expected engine errors rendered
+as ``error: <Type>: <message>`` — so equality of two databases' answer
+sets is plain string equality.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+from ..xmlio.serializer import serialize
+
+__all__ = ["PAPER_ORDERS", "PAPER_CUSTOMERS", "PAPER_PRODUCTS",
+           "PAPER_INDEX_DDL", "PAPER_QUERIES", "load_paper_fixture",
+           "run_paper_query"]
+
+#: (ordid, document) — the running examples from the paper, §2.2/§3.
+PAPER_ORDERS = [
+    # Doc 1: the §2.2 example with no price attribute at all.
+    (1, "<order><date>January 1, 2001</date>"
+        "<lineitem><product><id>widget</id></product></lineitem>"
+        "</order>"),
+    # Doc 2: the §2.2 example with price 99.50.
+    (2, "<order><date>January 1, 2002</date>"
+        "<lineitem price=\"99.50\"><product><id>gadget</id></product>"
+        "</lineitem></order>"),
+    # Doc 3: qualifying order (price 150) plus a cheap item, custid.
+    (3, "<order><custid>1001</custid>"
+        "<lineitem price=\"150\" quantity=\"2\">"
+        "<product><id>17</id></product></lineitem>"
+        "<lineitem price=\"90\"><product><id>18</id></product>"
+        "</lineitem></order>"),
+    # Doc 4: string price "20 USD" (the §3.1 example).
+    (4, "<order><custid>1002</custid>"
+        "<lineitem price=\"20 USD\"><product><id>19</id></product>"
+        "</lineitem></order>"),
+    # Doc 5: element prices with the §3.10 multi-price 250/50 hazard.
+    (5, "<order><custid>1001</custid>"
+        "<lineitem><price>250</price><price>50</price>"
+        "<product><id>20</id></product></lineitem></order>"),
+    # Doc 6: the §3.8 mixed-content price (99.50USD as string value).
+    (6, "<order><date>January 1, 2003</date><custid>1003</custid>"
+        "<lineitem><price>99.50<currency>USD</currency></price>"
+        "<product><id>21</id></product></lineitem></order>"),
+    # Doc 7: price in range, element form.
+    (7, "<order><custid>1002</custid>"
+        "<lineitem><price>120</price><product><id>17</id></product>"
+        "</lineitem></order>"),
+]
+
+PAPER_CUSTOMERS = [
+    (1, "<customer><id>1001</id><name>Ann</name><nation>1</nation>"
+        "</customer>"),
+    (2, "<customer><id>1002</id><name>Bob</name><nation>2</nation>"
+        "</customer>"),
+    (3, "<customer><id>1003</id><name>Cyd</name><nation>1</nation>"
+        "</customer>"),
+]
+
+PAPER_PRODUCTS = [
+    ("17", "trusty widget"),
+    ("18", "spare gadget"),
+    ("19", "imported flange"),
+    ("20", "bulk sprocket"),
+    ("21", "mixed bundle"),
+]
+
+#: The running-example indexes (li_price, o_custid, c_custid).
+PAPER_INDEX_DDL = [
+    "CREATE INDEX li_price ON orders(orddoc) "
+    "USING XMLPATTERN '//lineitem/@price' AS DOUBLE",
+    "CREATE INDEX o_custid ON orders(orddoc) "
+    "USING XMLPATTERN '//custid' AS DOUBLE",
+    "CREATE INDEX c_custid ON customer(cdoc) "
+    "USING XMLPATTERN '/customer/id' AS DOUBLE",
+]
+
+
+def load_paper_fixture(database, with_indexes: bool = True) -> None:
+    """Create the 3-table paper schema and load the fixture documents.
+
+    Works against any Database-API object (including
+    ``DurableDatabase``)."""
+    database.create_table("customer", [("cid", "INTEGER"),
+                                       ("cdoc", "XML")])
+    database.create_table("orders", [("ordid", "INTEGER"),
+                                     ("orddoc", "XML")])
+    database.create_table("products", [("id", "VARCHAR(13)"),
+                                       ("name", "VARCHAR(32)")])
+    for ordid, document in PAPER_ORDERS:
+        database.insert("orders", {"ordid": ordid, "orddoc": document})
+    for cid, document in PAPER_CUSTOMERS:
+        database.insert("customer", {"cid": cid, "cdoc": document})
+    for product_id, name in PAPER_PRODUCTS:
+        database.insert("products", {"id": product_id, "name": name})
+    if with_indexes:
+        for ddl in PAPER_INDEX_DDL:
+            database.execute(ddl)
+
+
+_XMLCOL = "db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+_VIEW = ("let $view := for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+         "/order/lineitem return <item>{ $i/@quantity, "
+         "<pid>{ $i/product/id/data(.) }</pid> }</item> ")
+
+#: query number -> ("xquery" | "sql", statement text).
+PAPER_QUERIES: dict[int, tuple[str, str]] = {
+    1: ("xquery", f"for $i in {_XMLCOL}"
+        "//order[lineitem/@price>100] return $i"),
+    2: ("xquery", f"for $i in {_XMLCOL}"
+        "//order[lineitem/@*>100] return $i"),
+    3: ("xquery", f"for $i in {_XMLCOL}"
+        '//order[lineitem/@price > "100" ] return $i'),
+    4: ("xquery",
+        'for $i in db2-fn:xmlcolumn("ORDERS.ORDDOC")/order '
+        'for $j in db2-fn:xmlcolumn("CUSTOMER.CDOC")/customer '
+        "where $i/custid/xs:double(.) = $j/id/xs:double(.) "
+        "return $i"),
+    5: ("sql", "SELECT XMLQuery('$order//lineitem[@price > 100]' "
+        'passing orddoc as "order") FROM orders'),
+    6: ("sql", "VALUES (XMLQuery('db2-fn:xmlcolumn(\"ORDERS.ORDDOC\")"
+        "//lineitem[@price > 100] '))"),
+    7: ("xquery", f"{_XMLCOL}//lineitem[@price > 100]"),
+    8: ("sql", "SELECT ordid, orddoc FROM orders WHERE "
+        "XMLExists('$order//lineitem[@price > 100]' "
+        'passing orddoc as "order")'),
+    9: ("sql", "SELECT ordid, orddoc FROM orders WHERE "
+        "XMLExists('$order//lineitem/@price > 100' "
+        'passing orddoc as "order")'),
+    10: ("sql",
+         "SELECT ordid, XMLQuery('$order//lineitem[@price > 100]' "
+         'passing orddoc as "order") FROM orders WHERE '
+         "XMLExists('$order//lineitem[@price > 100]' "
+         'passing orddoc as "order")'),
+    11: ("sql", "SELECT o.ordid, t.lineitem FROM orders o, "
+         "XMLTable('$order//lineitem[@price > 100]' "
+         'passing o.orddoc as "order" '
+         "COLUMNS \"lineitem\" XML BY REF PATH '.') as t(lineitem)"),
+    12: ("sql", "SELECT o.ordid, t.lineitem, t.price FROM orders o, "
+         "XMLTable('$order//lineitem' passing o.orddoc as \"order\" "
+         "COLUMNS \"lineitem\" XML BY REF PATH '.', "
+         "\"price\" DECIMAL(6,3) PATH '@price[. > 100]') "
+         "as t(lineitem, price)"),
+    13: ("sql", "SELECT p.name, XMLQuery('$order//lineitem' "
+         'passing orddoc as "order") '
+         "FROM products p, orders o "
+         "WHERE XMLExists('$order//lineitem/product[id eq $pid]' "
+         'passing o.orddoc as "order", p.id as "pid")'),
+    14: ("sql", "SELECT p.name FROM products p, orders o "
+         "WHERE ordid = 4 AND p.id = XMLCast(XMLQuery("
+         "'$order//lineitem/product/id' passing o.orddoc as \"order\") "
+         "as VARCHAR(13))"),
+    15: ("sql", "SELECT c.cid, XMLQuery('$order//lineitem' "
+         'passing o.orddoc as "order") '
+         "FROM orders o, customer c, "
+         "WHERE XMLCast(XMLQuery('$order/order/custid' "
+         'passing o.orddoc as "order") as DOUBLE) = '
+         "XMLCast(XMLQuery('$cust/customer/id' "
+         'passing c.cdoc as "cust") as DOUBLE)'),
+    16: ("sql", "SELECT c.cid, XMLQuery('$order//lineitem' "
+         'passing o.orddoc as "order") '
+         "FROM customer c, orders o "
+         "WHERE XMLExists('$order/order[custid/xs:double(.) = "
+         "$cust/customer/id/xs:double(.)]' "
+         'passing o.orddoc as "order", c.cdoc as "cust")'),
+    17: ("xquery", f"for $doc in {_XMLCOL} "
+         "for $item in $doc//lineitem[@price > 100] "
+         "return <result>{$item}</result>"),
+    18: ("xquery", f"for $doc in {_XMLCOL} "
+         "let $item:= $doc//lineitem[@price > 100] "
+         "return <result>{$item}</result>"),
+    19: ("xquery", f"for $ord in {_XMLCOL}/order "
+         "return <result>{$ord/lineitem[@price > 100]}</result>"),
+    20: ("xquery", f"for $ord in {_XMLCOL}/order "
+         "where $ord/lineitem/@price > 100 "
+         "return <result>{$ord/lineitem}</result>"),
+    21: ("xquery", f"for $ord in {_XMLCOL}/order "
+         "let $price := $ord/lineitem/@price "
+         "where $price > 100 "
+         "return <result>{$ord/lineitem}</result>"),
+    22: ("xquery", f"for $ord in {_XMLCOL}/order "
+         "return $ord/lineitem[@price > 100]"),
+    23: ("xquery", f"{_XMLCOL}/order/lineitem"),
+    24: ("xquery", f"for $ord in (for $o in {_XMLCOL}/order "
+         "return <my_order>{$o/*}</my_order>) "
+         "return $ord/my_order"),
+    # Query 25 raises XPDY0050 by design; the canonical output records
+    # the error.
+    25: ("xquery", "let $order := <neworder>{"
+         f"{_XMLCOL}/order[custid > 1001]"
+         "}</neworder> return $order[//customer/name]"),
+    26: ("xquery", _VIEW +
+         "for $j in $view where $j/pid = '17' return $j"),
+    27: ("xquery", "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+         "/order/lineitem "
+         "where $i/product/id = '17' "
+         "return $i/@price"),
+    # Query 28 is the paper's namespace query; over the namespace-less
+    # fixture documents its answer is deterministically empty, which is
+    # exactly what a byte-identity oracle needs.
+    28: ("xquery",
+         'declare default element namespace '
+         '"http://ournamespaces.com/order"; '
+         'declare namespace c="http://ournamespaces.com/customer"; '
+         'for $ord in db2-fn:xmlcolumn("ORDERS.ORDDOC")'
+         "/order[lineitem/@price > 1000] "
+         'for $cust in db2-fn:xmlcolumn("CUSTOMER.CDOC")'
+         "/c:customer[c:nation = 1] "
+         "where $ord/custid = $cust/id return $ord"),
+    29: ("xquery", 'for $ord in db2-fn:xmlcolumn("ORDERS.ORDDOC")'
+         '/order[lineitem/price/text() = "99.50"] return $ord'),
+    30: ("xquery", f"for $i in {_XMLCOL}"
+         "//order[lineitem[@price>100 and @price<200]] return $i"),
+}
+
+
+def run_paper_query(database, number: int) -> str:
+    """Canonical output of paper query ``number`` against ``database``.
+
+    Engine errors the paper predicts (e.g. Query 25's XPDY0050) are
+    part of the canonical answer, rendered deterministically."""
+    kind, statement = PAPER_QUERIES[number]
+    try:
+        if kind == "sql":
+            result = database.sql(statement)
+            lines = ["\t".join(result.columns)]
+            for row in result.serialize_rows():
+                lines.append("\t".join(
+                    "NULL" if value is None else str(value)
+                    for value in row))
+            return "\n".join(lines)
+        result = database.xquery(statement)
+        return "\n".join(serialize(item) for item in result.items)
+    except ReproError as error:
+        return f"error: {type(error).__name__}: {error}"

@@ -132,8 +132,17 @@ def _serialize_element(element: ElementNode,
         parts.append("/>")
         return "".join(parts)
 
+    body = "".join(_serialize_node(child, scope)
+                   for child in element.children)
+    if not body:
+        # Children that serialize to nothing (empty text nodes) must
+        # collapse to the self-closing form: `<a></a>` reparses as
+        # childless and would re-serialize as `<a/>`, so only the
+        # canonical form round-trips byte-identically — a requirement
+        # for checkpoint fidelity (durability layer).
+        parts.append("/>")
+        return "".join(parts)
     parts.append(">")
-    for child in element.children:
-        parts.append(_serialize_node(child, scope))
+    parts.append(body)
     parts.append(f"</{_tag_name(element)}>")
     return "".join(parts)

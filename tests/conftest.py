@@ -1,7 +1,13 @@
 """Shared fixtures: the paper's 3-table schema with engineered documents.
 
-The fixture documents are chosen to hit every edge the paper discusses:
-mixed-content prices ("99.50USD"), string prices ("20 USD"), multi-price
+The fixture documents live in :mod:`repro.workload.paperqueries` (one
+canonical home shared with the CLI's ``repro ingest``/``repro qN``
+commands and the durability crash-matrix oracle); this module re-exports
+them so existing ``from tests.conftest import PAPER_ORDERS`` imports
+keep working.
+
+The documents are chosen to hit every edge the paper discusses: mixed-
+content prices ("99.50USD"), string prices ("20 USD"), multi-price
 elements (250/50), namespaces, and missing-price orders.
 """
 
@@ -10,6 +16,12 @@ from __future__ import annotations
 import pytest
 
 from repro import Database
+from repro.workload.paperqueries import (PAPER_CUSTOMERS, PAPER_ORDERS,
+                                         PAPER_PRODUCTS,
+                                         load_paper_fixture)
+
+__all__ = ["PAPER_ORDERS", "PAPER_CUSTOMERS", "PAPER_PRODUCTS",
+           "assert_same_results"]
 
 
 @pytest.fixture()
@@ -17,74 +29,11 @@ def db() -> Database:
     return Database()
 
 
-#: (ordid, document) — the running examples from the paper, §2.2/§3.
-PAPER_ORDERS = [
-    # Doc 1: the §2.2 example with no price attribute at all.
-    (1, "<order><date>January 1, 2001</date>"
-        "<lineitem><product><id>widget</id></product></lineitem>"
-        "</order>"),
-    # Doc 2: the §2.2 example with price 99.50.
-    (2, "<order><date>January 1, 2002</date>"
-        "<lineitem price=\"99.50\"><product><id>gadget</id></product>"
-        "</lineitem></order>"),
-    # Doc 3: qualifying order (price 150) plus a cheap item, custid.
-    (3, "<order><custid>1001</custid>"
-        "<lineitem price=\"150\" quantity=\"2\">"
-        "<product><id>17</id></product></lineitem>"
-        "<lineitem price=\"90\"><product><id>18</id></product>"
-        "</lineitem></order>"),
-    # Doc 4: string price "20 USD" (the §3.1 example).
-    (4, "<order><custid>1002</custid>"
-        "<lineitem price=\"20 USD\"><product><id>19</id></product>"
-        "</lineitem></order>"),
-    # Doc 5: element prices with the §3.10 multi-price 250/50 hazard.
-    (5, "<order><custid>1001</custid>"
-        "<lineitem><price>250</price><price>50</price>"
-        "<product><id>20</id></product></lineitem></order>"),
-    # Doc 6: the §3.8 mixed-content price (99.50USD as string value).
-    (6, "<order><date>January 1, 2003</date><custid>1003</custid>"
-        "<lineitem><price>99.50<currency>USD</currency></price>"
-        "<product><id>21</id></product></lineitem></order>"),
-    # Doc 7: price in range, element form.
-    (7, "<order><custid>1002</custid>"
-        "<lineitem><price>120</price><product><id>17</id></product>"
-        "</lineitem></order>"),
-]
-
-PAPER_CUSTOMERS = [
-    (1, "<customer><id>1001</id><name>Ann</name><nation>1</nation>"
-        "</customer>"),
-    (2, "<customer><id>1002</id><name>Bob</name><nation>2</nation>"
-        "</customer>"),
-    (3, "<customer><id>1003</id><name>Cyd</name><nation>1</nation>"
-        "</customer>"),
-]
-
-PAPER_PRODUCTS = [
-    ("17", "trusty widget"),
-    ("18", "spare gadget"),
-    ("19", "imported flange"),
-    ("20", "bulk sprocket"),
-    ("21", "mixed bundle"),
-]
-
-
 @pytest.fixture()
 def paper_db() -> Database:
     """The paper's schema, loaded with the engineered documents."""
     database = Database()
-    database.create_table("customer", [("cid", "INTEGER"),
-                                       ("cdoc", "XML")])
-    database.create_table("orders", [("ordid", "INTEGER"),
-                                     ("orddoc", "XML")])
-    database.create_table("products", [("id", "VARCHAR(13)"),
-                                       ("name", "VARCHAR(32)")])
-    for ordid, document in PAPER_ORDERS:
-        database.insert("orders", {"ordid": ordid, "orddoc": document})
-    for cid, document in PAPER_CUSTOMERS:
-        database.insert("customer", {"cid": cid, "cdoc": document})
-    for product_id, name in PAPER_PRODUCTS:
-        database.insert("products", {"id": product_id, "name": name})
+    load_paper_fixture(database, with_indexes=False)
     return database
 
 

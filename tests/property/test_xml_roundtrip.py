@@ -1,10 +1,19 @@
-"""Property-based tests: XML serialize/parse round-trips."""
+"""Property-based tests: XML serialize/parse round-trips.
 
+The durability checkpoints store documents as serialized text, so the
+serializer output must be a *fixed point*: serialize → parse →
+serialize is byte-identical for every document the engine can hold,
+across comments, processing instructions, namespaces, mixed content,
+and attribute edge characters.
+"""
+
+import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.xdm.nodes import (AttributeNode, CommentNode, DocumentNode,
-                             ElementNode, TextNode)
+                             ElementNode, ProcessingInstructionNode,
+                             TextNode)
 from repro.xdm.qname import QName
 from repro.xmlio import parse_document, serialize
 
@@ -14,6 +23,13 @@ names = st.sampled_from(["a", "b", "order", "lineitem", "price", "x1"])
 texts = st.text(
     alphabet=st.characters(min_codepoint=32, max_codepoint=0x2FF),
     min_size=1, max_size=20)
+pi_targets = st.sampled_from(["style", "target", "app"])
+
+
+@st.composite
+def processing_instructions(draw):
+    content = draw(texts).replace("?>", "__").strip()
+    return ProcessingInstructionNode(draw(pi_targets), content)
 
 
 @st.composite
@@ -25,13 +41,15 @@ def elements(draw, depth: int = 0):
     children = []
     if depth < 3:
         for kind in draw(st.lists(
-                st.sampled_from(["text", "element", "comment"]),
+                st.sampled_from(["text", "element", "comment", "pi"]),
                 max_size=4)):
             if kind == "text":
                 children.append(TextNode(draw(texts)))
             elif kind == "comment":
                 comment = draw(texts).replace("--", "xx").rstrip("-")
                 children.append(CommentNode(comment))
+            elif kind == "pi":
+                children.append(draw(processing_instructions()))
             else:
                 children.append(draw(elements(depth=depth + 1)))
     merged = []
@@ -67,3 +85,49 @@ def test_string_value_preserved(root):
     document = DocumentNode([root])
     reparsed = parse_document(serialize(document))
     assert reparsed.string_value() == document.string_value()
+
+
+# Serialized text the checkpoint layer must treat as a fixed point:
+# serialize(parse(text)) == text, covering comments, PIs, namespace
+# declarations (default and prefixed, including re-declaration), mixed
+# content, and attribute values with every escapable character.
+FIXED_POINT_DOCUMENTS = [
+    "<a/>",
+    "<a b=\"1\"/>",
+    "<a><!--note--><b/><?pi data?></a>",
+    "<a><?pi?>text<b/>tail</a>",
+    "<order xmlns=\"http://example.com/o\">"
+    "<custid>7</custid></order>",
+    "<p:a xmlns:p=\"urn:one\"><p:b/>"
+    "<q:c xmlns:q=\"urn:two\" q:attr=\"v\"/></p:a>",
+    "<p:a xmlns:p=\"urn:one\">"
+    "<p:inner xmlns:p=\"urn:redeclared\"/></p:a>",
+    "<a attr=\"&lt;&amp;&quot;'&gt;\">&lt;body&amp;&gt;</a>",
+    "<price currency=\"USD\">99.50<note>mixed</note>USD</price>",
+    "<a>  leading and trailing  </a>",
+    "<a><b/><c/><b/></a>",
+]
+
+
+@pytest.mark.parametrize("text", FIXED_POINT_DOCUMENTS)
+def test_serializer_is_fixed_point(text):
+    once = serialize(parse_document(text))
+    assert once == text
+    assert serialize(parse_document(once)) == once
+
+
+def test_empty_text_child_collapses_to_self_closing():
+    """`<a></a>` reparses as childless, so an element whose children
+    serialize to nothing must emit `<a/>` — otherwise checkpointed
+    documents drift on every save/recover cycle."""
+    root = ElementNode(QName("", "a"), children=[TextNode("")])
+    text = serialize(DocumentNode([root]))
+    assert text == "<a/>"
+    assert serialize(parse_document(text)) == text
+
+
+@given(elements())
+def test_double_roundtrip_byte_identical(root):
+    """serialize∘parse is idempotent: the second pass changes nothing."""
+    once = serialize(parse_document(serialize(DocumentNode([root]))))
+    assert serialize(parse_document(once)) == once

@@ -1,0 +1,184 @@
+"""Unit tests for the write-ahead log: framing, policies, corruption.
+
+The WAL's contract is narrow and sharp — every record that `append`
+reported durable must survive a crash, every record after a torn tail
+must be detected and dropped, and nothing in between.
+"""
+
+import zlib
+
+import pytest
+
+from repro.durability import wal as wal_module
+from repro.durability.faults import (CrashError, FaultInjector,
+                                     torn_tail_sizes)
+from repro.durability.wal import (MAGIC, WriteAheadLog, encode_record,
+                                  scan_wal)
+from repro.errors import DurabilityError
+
+
+def make_wal(tmp_path, **kwargs) -> WriteAheadLog:
+    return WriteAheadLog(str(tmp_path / "wal.log"), **kwargs)
+
+
+def test_append_and_scan_roundtrip(tmp_path):
+    log = make_wal(tmp_path)
+    log.append({"op": "create_table", "table": "t"})
+    log.append({"op": "insert", "table": "t", "values": {"k": 1}})
+    log.close()
+    scan = scan_wal(str(tmp_path / "wal.log"))
+    assert [record for _lsn, record in scan.records] == [
+        {"op": "create_table", "table": "t"},
+        {"op": "insert", "table": "t", "values": {"k": 1}}]
+    assert scan.last_lsn == 2
+    assert scan.torn_bytes == 0
+
+
+def test_lsns_are_monotonic_and_resume_after_reopen(tmp_path):
+    log = make_wal(tmp_path)
+    assert log.append({"op": "a"}) == 1
+    assert log.append({"op": "b"}) == 2
+    log.close()
+    scan = scan_wal(str(tmp_path / "wal.log"))
+    reopened = make_wal(tmp_path, start_lsn=scan.last_lsn)
+    assert reopened.append({"op": "c"}) == 3
+    reopened.close()
+    assert scan_wal(str(tmp_path / "wal.log")).last_lsn == 3
+
+
+def test_crc_mismatch_truncates_scan(tmp_path):
+    log = make_wal(tmp_path)
+    log.append({"op": "a"})
+    log.append({"op": "b"})
+    log.close()
+    path = tmp_path / "wal.log"
+    data = bytearray(path.read_bytes())
+    data[-1] ^= 0xFF  # flip one payload byte of the last record
+    path.write_bytes(bytes(data))
+    scan = scan_wal(str(path))
+    assert [record for _lsn, record in scan.records] == [{"op": "a"}]
+    assert scan.last_lsn == 1
+    assert scan.torn_bytes > 0
+
+
+def test_crc_covers_the_lsn(tmp_path):
+    """Corrupting the frame's LSN field must invalidate the record."""
+    log = make_wal(tmp_path)
+    log.append({"op": "a"})
+    log.close()
+    path = tmp_path / "wal.log"
+    data = bytearray(path.read_bytes())
+    data[len(MAGIC)] ^= 0x01  # first byte of the little-endian LSN
+    path.write_bytes(bytes(data))
+    scan = scan_wal(str(path))
+    assert scan.records == []
+    assert scan.torn_bytes > 0
+
+
+def test_non_monotonic_lsn_in_valid_prefix_is_hard_error(tmp_path):
+    path = tmp_path / "wal.log"
+    path.write_bytes(MAGIC + encode_record(2, {"op": "a"})
+                     + encode_record(1, {"op": "b"}))
+    with pytest.raises(DurabilityError):
+        scan_wal(str(path))
+
+
+def test_bad_magic_is_hard_error(tmp_path):
+    path = tmp_path / "wal.log"
+    path.write_bytes(b"NOTAWAL00\n" + encode_record(1, {"op": "a"}))
+    with pytest.raises(DurabilityError):
+        scan_wal(str(path))
+
+
+def test_missing_file_scans_empty(tmp_path):
+    scan = scan_wal(str(tmp_path / "absent.log"))
+    assert scan.records == []
+    assert scan.last_lsn == 0
+
+
+def test_oversize_length_field_treated_as_torn(tmp_path):
+    """A garbage length field must not trigger a giant allocation."""
+    path = tmp_path / "wal.log"
+    header = wal_module._FRAME.pack(1, 2**31, zlib.crc32(b""))
+    path.write_bytes(MAGIC + header)
+    scan = scan_wal(str(path))
+    assert scan.records == []
+    assert scan.torn_bytes == len(header)
+
+
+@pytest.mark.parametrize("policy", ["always", "batch", "off"])
+def test_every_policy_persists_after_close(tmp_path, policy):
+    log = make_wal(tmp_path, fsync_policy=policy, group_size=4)
+    for index in range(10):
+        log.append({"op": "insert", "values": {"k": index}})
+    log.close()
+    scan = scan_wal(str(tmp_path / "wal.log"))
+    assert scan.last_lsn == 10
+
+
+def test_batch_policy_buffers_until_group_is_full(tmp_path):
+    log = make_wal(tmp_path, fsync_policy="batch", group_size=3)
+    log.append({"op": "a"})
+    log.append({"op": "b"})
+    assert log.pending_records == 2
+    assert scan_wal(str(tmp_path / "wal.log")).last_lsn == 0
+    log.append({"op": "c"})  # third record fills the group
+    assert log.pending_records == 0
+    assert scan_wal(str(tmp_path / "wal.log")).last_lsn == 3
+    log.close()
+
+
+def test_sync_drains_a_partial_batch(tmp_path):
+    log = make_wal(tmp_path, fsync_policy="batch", group_size=100)
+    log.append({"op": "a"})
+    log.sync()
+    assert log.pending_records == 0
+    assert scan_wal(str(tmp_path / "wal.log")).last_lsn == 1
+    log.close()
+
+
+def test_reset_truncates_and_restarts_lsns(tmp_path):
+    log = make_wal(tmp_path)
+    for _ in range(5):
+        log.append({"op": "a"})
+    log.reset(5)
+    assert log.append({"op": "b"}) == 6
+    log.close()
+    scan = scan_wal(str(tmp_path / "wal.log"))
+    assert [lsn for lsn, _record in scan.records] == [6]
+
+
+def test_crash_before_fsync_loses_unsynced_tail(tmp_path):
+    faults = FaultInjector("wal.append.before_fsync", skip=1)
+    log = make_wal(tmp_path, faults=faults)
+    log.append({"op": "a"})
+    with pytest.raises(CrashError):
+        log.append({"op": "b"})
+    scan = scan_wal(str(tmp_path / "wal.log"))
+    assert scan.last_lsn == 1  # only the fsynced record survives
+
+
+def test_crash_after_fsync_keeps_the_record(tmp_path):
+    faults = FaultInjector("wal.append.after_fsync", skip=1)
+    log = make_wal(tmp_path, faults=faults)
+    log.append({"op": "a"})
+    with pytest.raises(CrashError):
+        log.append({"op": "b"})
+    assert scan_wal(str(tmp_path / "wal.log")).last_lsn == 2
+
+
+def test_torn_tail_sizes_covers_every_byte_of_the_last_record(tmp_path):
+    log = make_wal(tmp_path)
+    log.append({"op": "a"})
+    log.append({"op": "bb"})
+    log.close()
+    path = tmp_path / "wal.log"
+    scan = scan_wal(str(path))
+    sizes = torn_tail_sizes(scan.last_record_start, scan.file_size)
+    assert len(sizes) == scan.file_size - scan.last_record_start
+    whole = path.read_bytes()
+    for size in sizes:
+        path.write_bytes(whole[:size])
+        cut = scan_wal(str(path))
+        assert cut.last_lsn == 1, f"cut at {size} kept a torn record"
+        assert cut.torn_bytes == size - cut.valid_size
