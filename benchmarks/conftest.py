@@ -66,6 +66,19 @@ def element_price_db() -> Database:
 PRICE_BOUND = 190
 
 
+#: Free-form observations benchmarks want recorded alongside the
+#: medians (e.g. the replication suite's measured speedup and its
+#: honest single-core caveat).  Keyed strings, JSON-scalar values.
+BENCH_NOTES: dict[str, object] = {}
+
+
+def register_bench_note(key: str, value) -> None:
+    """Record an observation for the ``notes`` section of
+    BENCH_results.json — methodology context a bare median cannot
+    carry (host core count, measured ratios, applicability caveats)."""
+    BENCH_NOTES[key] = value
+
+
 #: Seed-implementation medians (seconds) for the descendant-heavy
 #: queries, measured on the same workload/scale *before* the structural
 #: acceleration layer landed.  Kept here so BENCH_results.json always
@@ -189,4 +202,6 @@ def pytest_sessionfinish(session, exitstatus):
         "metrics_snapshot": _metrics_snapshot(),
         "benchmarks": results,
     }
+    if BENCH_NOTES:
+        payload["notes"] = dict(sorted(BENCH_NOTES.items()))
     out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -95,6 +95,13 @@ def build_parser() -> argparse.ArgumentParser:
                              help="fan the query across N document-"
                                   "partition workers (falls back to "
                                   "serial when not partitionable)")
+            sub.add_argument("--processes", type=int, default=1,
+                             metavar="N",
+                             help="fan the query across N worker "
+                                  "PROCESSES serving log-shipped read "
+                                  "replicas — escapes the GIL on "
+                                  "multi-core hosts (falls back to "
+                                  "serial when not partitionable)")
         if name != "describe":
             sub.add_argument("statement", help="the query text")
 
@@ -328,7 +335,14 @@ def _run_statement_command(arguments, database, out) -> int:
         else:
             tracer = (Tracer(arguments.statement, "xquery")
                       if arguments.trace else None)
-            if getattr(arguments, "workers", 1) > 1:
+            if getattr(arguments, "processes", 1) > 1:
+                with database.process_pool(
+                        processes=arguments.processes) as pool:
+                    result = pool.xquery(arguments.statement,
+                                         use_indexes=use_indexes,
+                                         tracer=tracer,
+                                         indent=arguments.indent)
+            elif getattr(arguments, "workers", 1) > 1:
                 result = database.xquery_parallel(
                     arguments.statement, max_workers=arguments.workers,
                     use_indexes=use_indexes, tracer=tracer)
@@ -336,8 +350,14 @@ def _run_statement_command(arguments, database, out) -> int:
                 result = database.xquery(arguments.statement,
                                          use_indexes=use_indexes,
                                          tracer=tracer)
-            for item in result.items:
-                print(serialize(item, indent=arguments.indent), file=out)
+            if hasattr(result, "items"):
+                for item in result.items:
+                    print(serialize(item, indent=arguments.indent),
+                          file=out)
+            else:
+                # Pool results arrive pre-serialized from the workers.
+                for text in result.serialize():
+                    print(text, file=out)
             print(result.stats.explain(), file=out)
             _write_trace(tracer, arguments.trace, out)
 

@@ -28,7 +28,8 @@ from ..obs.metrics import METRICS
 from ..xquery import ast
 from ..xquery.parser import parse_xquery
 
-__all__ = ["CompiledQuery", "compile_query", "cache_info", "clear_cache"]
+__all__ = ["CompiledQuery", "compile_query", "cache_info", "clear_cache",
+           "reinit_after_fork"]
 
 
 @dataclass(frozen=True)
@@ -106,3 +107,19 @@ def clear_cache() -> None:
         _cache.clear()
         _hits = 0
         _misses = 0
+
+
+def reinit_after_fork() -> None:
+    """Replace the module lock and start an empty cache.
+
+    A forked child (``repro.parallel.worker``) inherits this module's
+    lock in whatever state another parent thread held it at fork time —
+    taking it would deadlock forever.  The child calls this before its
+    first ``compile_query`` to install a fresh lock; no other thread
+    can exist in the child yet, so the unguarded swap is safe.
+    """
+    global _lock, _hits, _misses
+    _lock = threading.Lock()
+    _cache.clear()
+    _hits = 0
+    _misses = 0

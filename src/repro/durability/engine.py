@@ -164,24 +164,19 @@ class DurableDatabase(Database):
                            "positions": positions})
             return count
 
-    def _delete_positions(self, table: str, positions: list[int]) -> int:
-        """Replay arm of ``delete_rows``: victims by row position."""
-        with self._rwlock.write():
-            table_obj = self.table(table)
-            victims = []
-            for position in positions:
-                if position >= len(table_obj.rows):
-                    from ..errors import DurabilityError
-                    raise DurabilityError(
-                        f"delete_rows replay: position {position} out "
-                        f"of range for table {table_obj.name!r} with "
-                        f"{len(table_obj.rows)} row(s)")
-                victims.append(table_obj.rows[position])
-            return self._remove_rows(table_obj, victims)
+    # ``_delete_positions`` (the replay arm of ``delete_rows``) lives on
+    # the base Database so read replicas can replay shipped records too.
 
     # ------------------------------------------------------------------
     # Durability operations
     # ------------------------------------------------------------------
+
+    @property
+    def wal(self) -> WriteAheadLog:
+        """The live write-ahead log — the log-shipping subscription
+        point (:meth:`WriteAheadLog.subscribe`) and LSN watermark
+        source (:attr:`WriteAheadLog.last_lsn`) for replication."""
+        return self._wal
 
     def checkpoint(self, tracer=None) -> CheckpointInfo:
         """Write an atomic checkpoint and truncate the WAL.

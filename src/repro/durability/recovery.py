@@ -37,7 +37,8 @@ from .checkpoint import load_checkpoint
 from .codec import decode_schema, decode_value, encode_path
 from .wal import WAL_NAME, scan_wal
 
-__all__ = ["RecoveryResult", "VerifyReport", "recover"]
+__all__ = ["RecoveryResult", "VerifyReport", "recover",
+           "apply_checkpoint_state", "apply_wal_record"]
 
 
 @dataclass
@@ -279,3 +280,18 @@ def _span(tracer, name: str, **attributes):
     if tracer is None:
         return nullcontext()
     return tracer.span(name, **attributes)
+
+
+# ---------------------------------------------------------------------------
+# Replica-facing entry points (log shipping)
+# ---------------------------------------------------------------------------
+
+#: Load an encoded checkpoint document into a fresh database — the
+#: replica-bootstrap half of recovery, reused by
+#: :mod:`repro.parallel.replica` on state shipped over a pipe instead
+#: of read from disk.
+apply_checkpoint_state = _apply_checkpoint
+
+#: Apply one logical WAL record — the replay step a follower runs for
+#: every record the primary ships.
+apply_wal_record = _apply_record

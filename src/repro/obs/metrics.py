@@ -29,8 +29,17 @@ of the trace/EXPLAIN ANALYZE contract documented in EXPERIMENTS.md):
 ``rwlock.write_wait_seconds``     contended writer waits (histogram)
 ``parallel.fanouts``              partition-parallel executions
 ``parallel.partitions``           worker partitions across all fanouts
-``parallel.serial_fallbacks``     queries the partition gate refused
+``parallel.serial_fallbacks``     parallel entry points that ran serially
+``parallel.fallback_reason.<r>``  fallbacks broken down by reason (see
+                                  ``repro.planner.parallel.FALLBACK_REASONS``)
 ``parallel.seconds`` (histogram)  partition-parallel wall time
+``process.fanouts``               process-pool partition executions
+``process.partitions``            replica partitions across all fanouts
+``process.seconds`` (histogram)   process-pool fan-out wall time
+``replication.shipped_records``   WAL records streamed to replicas
+``replication.bootstrap_seconds`` checkpoint-ship + replica recovery time
+``replication.replica_lag_records`` (gauge) required minus applied LSN at
+                                  the last fan-out (0 = replicas current)
 ``wal.appends``                   logical records appended to the WAL
 ``wal.fsyncs``                    WAL fsync calls (group commit batches)
 ``wal.bytes_written``             encoded record bytes written

@@ -106,6 +106,26 @@ class Tracer:
             else:
                 self.roots.append(root)
 
+    def attach_remote(self, spans: list[dict], **attrs) -> None:
+        """Graft span *dicts* shipped from another process.
+
+        The process-pool workers cannot send Tracer objects across the
+        pipe, so they ship ``to_dict()["spans"]`` payloads instead.
+        ``perf_counter`` origins are not comparable between processes,
+        so each remote tree keeps its own worker-relative ``start_ms``
+        offsets, rebased onto this tracer's origin — within one remote
+        tree the relative timings are exact; across processes only
+        durations are meaningful.  Every grafted root is stamped with
+        ``attrs`` (e.g. ``worker=2``), mirroring :meth:`attach`.
+        """
+        for payload in spans:
+            span = _span_from_dict(payload, self._origin)
+            span.attrs.update(attrs)
+            if self._stack:
+                self._stack[-1].children.append(span)
+            else:
+                self.roots.append(span)
+
     # -- internal -------------------------------------------------------
 
     def _open(self, name: str, attrs: dict) -> Span:
@@ -143,6 +163,18 @@ class Tracer:
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent,
                           sort_keys=False, default=str)
+
+
+def _span_from_dict(payload: dict, origin: float) -> Span:
+    """Rebuild a Span tree from its ``to_dict`` form (see
+    :meth:`Tracer.attach_remote`)."""
+    span = Span(payload["name"],
+                origin + payload["start_ms"] / 1000.0,
+                **payload.get("attrs", {}))
+    span.duration = payload["duration_ms"] / 1000.0
+    span.children = [_span_from_dict(child, origin)
+                     for child in payload.get("children", [])]
+    return span
 
 
 class _SpanContext:

@@ -25,7 +25,11 @@ only when splitting provably cannot change its answer:
 Everything per-binding (where clauses, nested FLWORs, constructors)
 distributes over concatenation; per-step predicates apply within one
 context node and never cross documents.  Anything else falls back to
-the serial path, counted in ``parallel.serial_fallbacks``.
+the serial path, counted in ``parallel.serial_fallbacks`` and broken
+down by cause in ``parallel.fallback_reason.<reason>`` (see
+:data:`FALLBACK_REASONS`); both the thread backend here and the
+process backend (:mod:`repro.parallel.pool`) record through the same
+:func:`record_fallback` helper so dashboards see one taxonomy.
 
 Execution: the orchestrator takes the database read lock ONCE for the
 whole fan-out, captures a :class:`~repro.storage.snapshot.Snapshot`,
@@ -51,7 +55,40 @@ from ..core.querycache import compile_query
 from .plan import PrefilteredDatabase, QueryResult, plan_prefilters
 from .stats import ExecutionStats
 
-__all__ = ["partition_reference", "execute_xquery_parallel"]
+__all__ = ["partition_reference", "execute_xquery_parallel",
+           "record_fallback", "FALLBACK_REASONS"]
+
+#: Every reason a parallel entry point may decline to fan out.  The
+#: reason becomes a metric suffix (``parallel.fallback_reason.<r>``)
+#: and a ``serial-fallback`` trace-span attribute, so the set is a
+#: stable contract shared by the thread and process backends.
+FALLBACK_REASONS = (
+    "gate-rejected",     # partition_reference refused the query shape
+    "single-worker",     # max_workers/processes <= 1: nothing to fan to
+    "too-few-docs",      # fewer documents than would pay for a fan-out
+    "freshness",         # replicas behind the required LSN / version
+    "write-statements",  # batch contains writes: primary-only
+    "worker-error",      # a worker process failed or timed out
+    "pool-closed",       # the process pool was already shut down
+)
+
+
+def record_fallback(reason: str, tracer=None) -> None:
+    """Count one serial fallback under its reason.
+
+    Keeps the legacy aggregate ``parallel.serial_fallbacks`` in step
+    with the per-reason family, and (when a tracer is active) records a
+    ``serial-fallback`` span carrying ``reason`` so traces explain why
+    a query ran serially.
+    """
+    if reason not in FALLBACK_REASONS:
+        raise ValueError(f"unknown fallback reason {reason!r}")
+    if METRICS.enabled:
+        METRICS.inc("parallel.serial_fallbacks")
+        METRICS.inc(f"parallel.fallback_reason.{reason}")
+    if tracer is not None:
+        with tracer.span("serial-fallback", reason=reason):
+            pass
 
 
 def _db2_calls(module: ast.Module) -> tuple[list, bool]:
@@ -145,8 +182,8 @@ def execute_xquery_parallel(database, query: str, max_workers: int = 4,
     compiled = compile_query(query)
     reference = partition_reference(compiled.module)
     if reference is None or max_workers <= 1:
-        if METRICS.enabled and reference is None:
-            METRICS.inc("parallel.serial_fallbacks")
+        record_fallback("gate-rejected" if reference is None
+                        else "single-worker", tracer)
         return database.xquery(query, use_indexes=use_indexes,
                                tracer=tracer)
 

@@ -251,6 +251,27 @@ class Database(ReadView):
                        if predicate is None or predicate(row.values)]
             return self._remove_rows(table_obj, victims)
 
+    def _delete_positions(self, table: str, positions: list[int]) -> int:
+        """Delete rows addressed by position in the table's row list.
+
+        The replay arm of ``delete_rows``: a WAL record (and the
+        shipped copy a read replica applies) stores victim *positions*
+        because an arbitrary Python predicate is not serializable.
+        Rows are reconstructed in original order during replay, so
+        positions are deterministic on primary and follower alike."""
+        with self._rwlock.write():
+            table_obj = self.table(table)
+            victims = []
+            for position in positions:
+                if position >= len(table_obj.rows):
+                    from ..errors import DurabilityError
+                    raise DurabilityError(
+                        f"delete_rows replay: position {position} out "
+                        f"of range for table {table_obj.name!r} with "
+                        f"{len(table_obj.rows)} row(s)")
+                victims.append(table_obj.rows[position])
+            return self._remove_rows(table_obj, victims)
+
     def _remove_rows(self, table_obj: Table, victims: list[Row]) -> int:
         """Remove already-selected rows with index maintenance.
 
@@ -319,6 +340,21 @@ class Database(ReadView):
                                        max_workers=max_workers,
                                        use_indexes=use_indexes,
                                        tracer=tracer)
+
+    def process_pool(self, processes: int = 2, **options):
+        """A :class:`repro.parallel.pool.ProcessPool` of read replicas.
+
+        Spawns ``processes`` worker processes, each bootstrapped from a
+        shipped checkpoint of this database's current state; when the
+        database is durable, subsequent WAL records stream to the
+        followers so they stay fresh.  Use as a context manager (or
+        call ``close()``) so workers shut down gracefully::
+
+            with db.process_pool(processes=4) as pool:
+                result = pool.xquery(query)
+        """
+        from ..parallel.pool import ProcessPool
+        return ProcessPool(self, processes=processes, **options)
 
     def sql(self, statement: str, use_indexes: bool = True, tracer=None):
         """Run an SQL/XML statement.
