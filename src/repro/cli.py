@@ -146,6 +146,13 @@ def _add_data_arguments(sub, required: bool = False) -> None:
                      default="always",
                      help="WAL fsync policy for writes (default: "
                           "always)")
+    sub.add_argument("--buffer-pool-bytes", type=int, default=None,
+                     metavar="N",
+                     help="cap resident document memory at N bytes; "
+                          "cold documents are evicted LRU (and, with "
+                          "--data, spilled under DIR/spool) and "
+                          "re-materialized on demand (default: "
+                          "unlimited, or $REPRO_BUFFER_POOL_BYTES)")
 
 
 def load_directory(database: Database, directory: str,
@@ -207,8 +214,9 @@ def run_lint(database: Database, statement: str,
 
 def run_ingest(arguments, out) -> int:
     from .durability import DurableDatabase
-    with DurableDatabase(arguments.data,
-                         fsync_policy=arguments.fsync) as database:
+    with DurableDatabase(
+            arguments.data, fsync_policy=arguments.fsync,
+            buffer_pool_bytes=arguments.buffer_pool_bytes) as database:
         if arguments.orders:
             populate_paper_schema(database, orders=arguments.orders,
                                   customers=arguments.customers,
@@ -226,8 +234,9 @@ def run_ingest(arguments, out) -> int:
 
 def run_checkpoint(arguments, out) -> int:
     from .durability import DurableDatabase
-    with DurableDatabase(arguments.data,
-                         fsync_policy=arguments.fsync) as database:
+    with DurableDatabase(
+            arguments.data, fsync_policy=arguments.fsync,
+            buffer_pool_bytes=arguments.buffer_pool_bytes) as database:
         print(database.last_recovery.render(), file=out)
         info = database.checkpoint()
         print(f"checkpoint at LSN {info.last_lsn}: {info.tables} "
@@ -238,8 +247,10 @@ def run_checkpoint(arguments, out) -> int:
 
 def run_recover(arguments, out) -> int:
     from .durability import DurableDatabase
-    with DurableDatabase(arguments.data, fsync_policy=arguments.fsync,
-                         verify=arguments.verify) as database:
+    with DurableDatabase(
+            arguments.data, fsync_policy=arguments.fsync,
+            buffer_pool_bytes=arguments.buffer_pool_bytes,
+            verify=arguments.verify) as database:
         result = database.last_recovery
         print(result.render(), file=out)
         if result.verify is not None and not result.verify.ok:
@@ -249,8 +260,9 @@ def run_recover(arguments, out) -> int:
 
 def run_paper_query_command(number: int, arguments, out) -> int:
     from .durability import DurableDatabase
-    with DurableDatabase(arguments.data,
-                         fsync_policy=arguments.fsync) as database:
+    with DurableDatabase(
+            arguments.data, fsync_policy=arguments.fsync,
+            buffer_pool_bytes=arguments.buffer_pool_bytes) as database:
         print(run_paper_query(database, number), file=out)
         recovery = database.last_recovery
         print(f"# recovered: checkpoint_lsn={recovery.checkpoint_lsn} "
@@ -278,10 +290,12 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
         if arguments.data:
             from .durability import DurableDatabase
             database = lifecycle.enter_context(
-                DurableDatabase(arguments.data,
-                                fsync_policy=arguments.fsync))
+                DurableDatabase(
+                    arguments.data, fsync_policy=arguments.fsync,
+                    buffer_pool_bytes=arguments.buffer_pool_bytes))
         else:
-            database = Database()
+            database = Database(
+                buffer_pool_bytes=arguments.buffer_pool_bytes)
         if arguments.load:
             count = load_directory(database, arguments.load,
                                    arguments.index)

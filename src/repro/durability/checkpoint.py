@@ -35,6 +35,7 @@ from dataclasses import dataclass
 
 from ..errors import DurabilityError
 from ..obs.metrics import METRICS
+from ..storage.columnar import ingest_document
 from ..storage.pathsummary import get_summary
 from ..storage.table import StoredDocument
 from ..xmlio.serializer import serialize
@@ -59,11 +60,20 @@ class CheckpointInfo:
     bytes_written: int
 
 
-def encode_database(database, last_lsn: int) -> dict:
+def encode_database(database, last_lsn: int, *,
+                    ship_columns: bool = False) -> dict:
     """The checkpoint document for the database's current state.
 
     Caller holds the exclusive write lock, so the traversal sees one
-    consistent version."""
+    consistent version.
+
+    ``ship_columns=True`` additionally embeds each document's columnar
+    payload (``$columns``) next to its canonical text.  This is the
+    *replica shipping* variant (see :mod:`repro.parallel.pool`):
+    followers rebuild trees directly from the columns — one
+    materialization pass, no re-parse, no summary walk — with the
+    primary's node ids preserved.  Disk checkpoints never set it, so
+    the on-disk format-v1 bytes are unchanged."""
     tables = []
     for table in database.tables.values():
         rows = []
@@ -79,6 +89,9 @@ def encode_database(database, last_lsn: int) -> dict:
                             [encode_path(path), count]
                             for path, count in summary.counts().items()),
                     }
+                    if ship_columns:
+                        encoded_row[column]["$columns"] = \
+                            ingest_document(value.document).to_payload()
                 else:
                     encoded_row[column] = encode_value(value)
             rows.append(encoded_row)

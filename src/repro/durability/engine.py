@@ -52,8 +52,16 @@ class DurableDatabase(Database):
 
     def __init__(self, directory, *, fsync_policy: str = "always",
                  group_size: int = 256, index_order: int = 64,
+                 buffer_pool_bytes: int | None = None,
                  faults=NO_FAULTS, verify: bool = False, tracer=None):
-        super().__init__(index_order=index_order)
+        # With a byte budget the pool spills evicted documents' columns
+        # under the data directory ("spool/"); the files are pure cache
+        # (checkpoint + WAL stay authoritative), so recovery ignores
+        # them and they are simply overwritten as documents churn.
+        super().__init__(index_order=index_order,
+                         buffer_pool_bytes=buffer_pool_bytes,
+                         buffer_pool_spill_dir=pathlib.Path(directory)
+                         / "spool")
         self.directory = pathlib.Path(directory)
         fsio.ensure_dir(self.directory)
         self._faults = faults

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from ..errors import DurabilityError
 from ..obs.metrics import METRICS
 from ..schema.schema import Schema
+from ..storage.columnar import ColumnStore
 from ..storage.pathsummary import get_summary
 from ..storage.table import StoredDocument
 from . import fsio
@@ -185,7 +186,16 @@ def _apply_checkpoint_row(database, table_name: str, position: int,
     stored_paths: dict[str, list] = {}
     for column, encoded in row.items():
         if isinstance(encoded, dict) and "$xml" in encoded:
-            values[column] = encoded["$xml"]
+            columns_payload = encoded.get("$columns")
+            if columns_payload is not None:
+                # Replica-shipped columnar payload: materialize the
+                # tree straight from the columns (primary node ids
+                # preserved) instead of re-parsing the canonical text;
+                # the ingest path reuses the attached store as-is.
+                values[column] = ColumnStore.from_payload(
+                    columns_payload).materialize()
+            else:
+                values[column] = encoded["$xml"]
             schema_name = encoded.get("$schema")
             if schema_name:
                 schema_map[column] = _resolve_schema(database,

@@ -85,7 +85,17 @@ class SQLCastError(SQLError):
 
 
 class CatalogError(ReproError):
-    """Unknown or duplicate table / column / index names."""
+    """Unknown or duplicate table / column / index names.
+
+    Carries an SQLSTATE-style class code (``sqlstate``) so callers can
+    dispatch on the error class without parsing the message: ``42000``
+    (syntax/ddl, the default), ``42703`` (undefined column, e.g. a row
+    missing a relationally indexed column).
+    """
+
+    def __init__(self, message: str, sqlstate: str = "42000"):
+        self.sqlstate = sqlstate
+        super().__init__(message)
 
 
 class PatternSyntaxError(ReproError):

@@ -21,6 +21,14 @@ of the trace/EXPLAIN ANALYZE contract documented in EXPERIMENTS.md):
 ``pathsummary.hits``              step chains answered from a summary
 ``docs.scanned``                  XML documents materialized from columns
 ``rows.scanned``                  relational rows examined
+``bufferpool.hits``               accesses that found the tree resident
+``bufferpool.misses``             accesses that had to re-materialize
+``bufferpool.evictions``          documents evicted by the LRU budget
+``bufferpool.spills``             column payloads written to spool files
+``bufferpool.loads``              column payloads read back from spool
+``bufferpool.resident_bytes``     (gauge) bytes charged against the
+                                  buffer-pool budget
+``columnar.materializations``     XDM trees rebuilt from column stores
 ``queries.xquery`` / ``.sql``     statements executed
 ``query.seconds`` (histogram)     end-to-end statement wall time
 ``rwlock.read_acquires``          database read-lock acquisitions

@@ -1,0 +1,220 @@
+"""Buffer pool: keep the working set, not the database, in memory.
+
+Every ingested document costs two kinds of memory: its compact
+:class:`~repro.storage.columnar.ColumnStore` (a handful of ``array``
+columns plus one text heap) and — roughly an order of magnitude larger
+— the materialized XDM object tree queries navigate.  The pool tracks
+both against one configurable byte budget and evicts least-recently
+used documents when the budget is exceeded:
+
+* **Tier 1 (always):** eviction drops the materialized tree; the
+  columns stay resident and the next access re-materializes from them
+  (same ``node_id`` for every node, so index postings and
+  document-order keys survive).
+* **Tier 2 (spill directory set):** eviction also writes the column
+  payload to ``<spill_dir>/doc-<id>.cols`` through the durability
+  layer's :mod:`~repro.durability.fsio` helpers and drops the columns;
+  the next access reads them back.  Spill files are pure cache — the
+  authoritative copy is the checkpoint + WAL — so they are written
+  without fsync and never read unless this pool wrote them first.
+
+A document mutated since its columns were captured is re-captured
+before its tree is dropped, so eviction never loses updates.
+
+Budget ``None`` disables the pool entirely: documents are never
+registered and every access is a plain attribute read, preserving the
+un-pooled engine's performance exactly.
+
+Observability (``bufferpool.*`` in :mod:`repro.obs.metrics`):
+``hits`` (accesses finding a live tree), ``misses`` (accesses that had
+to re-materialize), ``evictions``, ``spills`` / ``loads`` (tier-2
+writes / reads), and the ``resident_bytes`` gauge.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+
+from ..obs.metrics import METRICS
+from .columnar import ColumnStore
+
+__all__ = ["BufferPool"]
+
+
+class BufferPool:
+    """LRU cache of materialized documents under one byte budget.
+
+    Thread-safe and a leaf in the lock order: every method takes only
+    the pool's own lock and calls nothing that acquires the database
+    RWLock, so it may be entered from either side of that lock.
+    """
+
+    def __init__(self, budget_bytes: int | None = None,
+                 spill_dir=None):
+        self.budget_bytes = budget_bytes
+        self.spill_dir = spill_dir
+        self._lock = threading.Lock()
+        #: doc_id -> StoredDocument, least-recently used first.
+        self._lru: "OrderedDict[int, object]" = OrderedDict()
+        self._charged: dict[int, int] = {}
+        self.resident_bytes = 0
+        self._spill_ready = False
+
+    @property
+    def enabled(self) -> bool:
+        return self.budget_bytes is not None
+
+    def __repr__(self) -> str:
+        return (f"<BufferPool budget={self.budget_bytes} "
+                f"resident={self.resident_bytes} "
+                f"docs={len(self._lru)}>")
+
+    # ------------------------------------------------------------------
+    # Registration & access (called from StoredDocument)
+    # ------------------------------------------------------------------
+
+    def admit(self, stored) -> None:
+        """Register a freshly ingested document (tree + columns live)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._charge(stored)
+            self._evict_to_fit(keep=stored)
+            self._publish_gauge()
+
+    def discard(self, stored) -> None:
+        """Forget a deleted document (its rows left the table)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._lru.pop(stored.doc_id, None)
+            self.resident_bytes -= self._charged.pop(stored.doc_id, 0)
+            self._publish_gauge()
+
+    def touch(self, stored) -> None:
+        """An access found the materialized tree live: LRU bump + hit."""
+        if not self.enabled:
+            return
+        with self._lock:
+            if stored.doc_id in self._lru:
+                self._lru.move_to_end(stored.doc_id)
+                if METRICS.enabled:
+                    METRICS.inc("bufferpool.hits")
+
+    def load(self, stored):
+        """Bring an evicted document back: re-materialize (reading the
+        spill file first when the columns themselves were dropped),
+        then evict colder documents to stay within budget."""
+        with self._lock:
+            document = stored._document
+            if document is not None:
+                # Another thread re-materialized while we waited.
+                self._lru.move_to_end(stored.doc_id)
+                if METRICS.enabled:
+                    METRICS.inc("bufferpool.hits")
+                return document
+            if METRICS.enabled:
+                METRICS.inc("bufferpool.misses")
+            store = stored._store
+            if store is None:
+                store = self._read_spill(stored.doc_id)
+                stored._store = store
+            document = store.materialize(stored._schema)
+            stored._document = document
+            self._charge(stored)
+            self._evict_to_fit(keep=stored)
+            self._publish_gauge()
+            return document
+
+    # ------------------------------------------------------------------
+    # Eviction (lock held)
+    # ------------------------------------------------------------------
+
+    def _charge(self, stored) -> None:
+        cost = self._cost_of(stored)
+        self.resident_bytes += cost - self._charged.get(stored.doc_id, 0)
+        self._charged[stored.doc_id] = cost
+        self._lru[stored.doc_id] = stored
+        self._lru.move_to_end(stored.doc_id)
+
+    @staticmethod
+    def _cost_of(stored) -> int:
+        store = stored._store
+        if store is None:
+            return 0
+        cost = store.nbytes()
+        if stored._document is not None:
+            cost += store.materialized_nbytes()
+        return cost
+
+    def _evict_to_fit(self, keep) -> None:
+        assert self.budget_bytes is not None
+        while self.resident_bytes > self.budget_bytes:
+            victim = None
+            for doc_id in self._lru:
+                if doc_id != keep.doc_id:
+                    candidate = self._lru[doc_id]
+                    if self._charged.get(doc_id, 0) > 0:
+                        victim = candidate
+                        break
+            if victim is None:
+                return
+            self._evict(victim)
+
+    def _evict(self, stored) -> None:
+        store = stored._store
+        document = stored._document
+        if document is not None and store is not None:
+            if not (store.stamp is document._stamp
+                    and store.stamp is not None and store.stamp.valid):
+                # Mutated since capture: re-snapshot the columns so the
+                # updated content survives the tree drop.
+                store = ColumnStore.from_document(document)
+                stored._store = store
+            store.detach()
+            stored._document = None
+        if self.spill_dir is not None and store is not None:
+            self._write_spill(stored.doc_id, store)
+            stored._store = None
+        if METRICS.enabled:
+            METRICS.inc("bufferpool.evictions")
+        self.resident_bytes -= self._charged.get(stored.doc_id, 0)
+        self._charged[stored.doc_id] = 0
+        self._lru.move_to_end(stored.doc_id, last=False)
+
+    def _publish_gauge(self) -> None:
+        if METRICS.enabled:
+            METRICS.set_gauge("bufferpool.resident_bytes",
+                              self.resident_bytes)
+
+    # ------------------------------------------------------------------
+    # Tier-2 spill files
+    # ------------------------------------------------------------------
+    # fsio is imported lazily: the storage layer must stay importable
+    # without dragging in durability, and only tier-2 pools touch disk.
+
+    def _spill_path(self, doc_id: int) -> str:
+        import os
+        return os.path.join(os.fspath(self.spill_dir),
+                            f"doc-{doc_id}.cols")
+
+    def _write_spill(self, doc_id: int, store: ColumnStore) -> None:
+        from ..durability import fsio
+        if not self._spill_ready:
+            fsio.ensure_dir(self.spill_dir)
+            self._spill_ready = True
+        payload = json.dumps(store.to_payload(),
+                             separators=(",", ":")).encode("utf-8")
+        fsio.write_bytes(self._spill_path(doc_id), payload)
+        if METRICS.enabled:
+            METRICS.inc("bufferpool.spills")
+
+    def _read_spill(self, doc_id: int) -> ColumnStore:
+        from ..durability import fsio
+        payload = json.loads(
+            fsio.read_bytes(self._spill_path(doc_id)).decode("utf-8"))
+        if METRICS.enabled:
+            METRICS.inc("bufferpool.loads")
+        return ColumnStore.from_payload(payload)

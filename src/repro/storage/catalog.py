@@ -18,6 +18,7 @@ internally consistent forever.
 
 from __future__ import annotations
 
+import os
 import re
 
 from ..core.rwlock import RWLock
@@ -26,7 +27,8 @@ from ..schema.schema import Schema
 from ..schema.validator import validate
 from ..xdm.nodes import DocumentNode
 from ..xmlio.parser import parse_document
-from .pathsummary import build_summary
+from .bufferpool import BufferPool
+from .columnar import ingest_document
 from .relindex import RelationalIndex
 from .snapshot import ReadView, Snapshot
 from .table import Row, StoredDocument, Table, next_doc_id
@@ -56,7 +58,9 @@ _WRITE_HEADS = ("INSERT", "DELETE", "CREATE")
 class Database(ReadView):
     """An in-memory XML database in the mould of DB2 Viper."""
 
-    def __init__(self, index_order: int = 64):
+    def __init__(self, index_order: int = 64,
+                 buffer_pool_bytes: int | None = None,
+                 buffer_pool_spill_dir=None):
         self.index_order = index_order
         self.tables: dict[str, Table] = {}
         self.xml_indexes: dict[str, XmlIndex] = {}
@@ -65,6 +69,15 @@ class Database(ReadView):
         #: Monotone write counter: every committed DDL/DML bumps it.
         self.version = 0
         self._rwlock = RWLock()
+        if buffer_pool_bytes is None:
+            env_budget = os.environ.get("REPRO_BUFFER_POOL_BYTES")
+            if env_budget:
+                buffer_pool_bytes = int(env_budget)
+        #: Byte-budgeted LRU over materialized documents; budget None
+        #: (the default) leaves it fully inactive — documents are then
+        #: never registered and never evicted.
+        self.buffer_pool = BufferPool(buffer_pool_bytes,
+                                      spill_dir=buffer_pool_spill_dir)
 
     # ------------------------------------------------------------------
     # DDL (writers: exclusive lock + copy-on-write catalog updates)
@@ -193,10 +206,15 @@ class Database(ReadView):
                     stored = StoredDocument(
                         next_doc_id(), document,
                         doc_schema.name if doc_schema else None)
-                    # Build the structural path summary at ingest: it
-                    # backs the evaluator's `//tag` fast path, index
-                    # builds, and the planner's cardinality estimates.
-                    build_summary(document)
+                    # Capture the columnar accelerator table at ingest:
+                    # one walk builds the (pre, post, level, …) columns,
+                    # the path partitions, and the path summary that
+                    # back the evaluator's fast paths, index builds, and
+                    # the planner's cardinality estimates.
+                    stored._store = ingest_document(document)
+                    stored._schema = doc_schema
+                    if self.buffer_pool.enabled:
+                        stored._pool = self.buffer_pool
                     stored_docs.append(stored)
                     prepared[key] = stored
                 else:
@@ -204,9 +222,11 @@ class Database(ReadView):
             row = table_obj.new_row(prepared)
             try:
                 self._index_row(table_obj, row)
-            except Exception:
+            except Exception:  # lint: broad-except-ok (row rollback must fire for any indexing failure before the error propagates)
                 table_obj.remove_row(row)
                 raise
+            for stored in stored_docs:
+                self.buffer_pool.admit(stored)
             self.version += 1
             return row
 
@@ -225,22 +245,54 @@ class Database(ReadView):
             raise CatalogError(f"unknown schema {schema!r}") from None
 
     def _index_row(self, table: Table, row: Row) -> None:
-        indexed: list[tuple[XmlIndex, StoredDocument]] = []
+        """Add one row to every index on its table, all-or-nothing.
+
+        Both index families sit inside one rollback scope: a failure at
+        *any* insert site — an xml-index cast/list-type error or a
+        rel-index insert — unwinds every entry this call already added
+        (xml postings and earlier rel entries alike) before re-raising,
+        so the caller's row rollback leaves no orphaned postings
+        behind.  Historically the rel-index loop ran outside the scope,
+        leaving xml postings and earlier rel entries dangling; the
+        fault-injection tests in ``tests/unit/test_index_atomicity.py``
+        pin the fixed behaviour.
+        """
+        with self._rwlock.write():  # reentrant: insert() already holds it
+            indexed_docs: list[tuple[XmlIndex, StoredDocument]] = []
+            indexed_values: list[tuple[RelationalIndex, object]] = []
+            try:
+                for index in self.xml_indexes.values():
+                    if index.table != table.name:
+                        continue
+                    stored = row.values.get(index.column)
+                    if isinstance(stored, StoredDocument):
+                        index.index_document(stored.doc_id,
+                                             stored.document)
+                        indexed_docs.append((index, stored))
+                for index in self.rel_indexes.values():
+                    if index.table == table.name:
+                        value = self._indexed_value(index, row)
+                        index.insert_row(row.row_id, value)
+                        indexed_values.append((index, value))
+            except Exception:  # lint: broad-except-ok (atomicity: unwind every entry added above whatever the failure, then re-raise)
+                for index, stored in indexed_docs:
+                    index.remove_document(stored.doc_id, stored.document)
+                for index, value in indexed_values:
+                    index.remove_row(row.row_id, value)
+                raise
+
+    @staticmethod
+    def _indexed_value(index: RelationalIndex, row: Row):
+        """The row's value for a relationally indexed column, surfacing
+        a missing column as a typed :class:`CatalogError` (SQLSTATE
+        42703, undefined column) instead of a raw ``KeyError``."""
         try:
-            for index in self.xml_indexes.values():
-                if index.table != table.name:
-                    continue
-                stored = row.values.get(index.column)
-                if isinstance(stored, StoredDocument):
-                    index.index_document(stored.doc_id, stored.document)
-                    indexed.append((index, stored))
-        except Exception:
-            for index, stored in indexed:
-                index.remove_document(stored.doc_id, stored.document)
-            raise
-        for index in self.rel_indexes.values():
-            if index.table == table.name:
-                index.insert_row(row.row_id, row.values[index.column])
+            return row.values[index.column]
+        except KeyError:
+            raise CatalogError(
+                f"row {row.row_id} has no value for indexed column "
+                f"{index.table}.{index.column}",
+                sqlstate="42703") from None
 
     def delete_rows(self, table: str, predicate=None) -> int:
         """Delete rows matching ``predicate(row_values_dict)`` (all rows
@@ -290,8 +342,11 @@ class Database(ReadView):
                 for index in self.rel_indexes.values():
                     if index.table == table_obj.name:
                         index.remove_row(row.row_id,
-                                         row.values[index.column])
+                                         self._indexed_value(index, row))
                 table_obj.remove_row(row)
+                for value in row.values.values():
+                    if isinstance(value, StoredDocument):
+                        self.buffer_pool.discard(value)
             if victims:
                 self.version += 1
             return len(victims)

@@ -13,17 +13,48 @@ _DOC_IDS = itertools.count(1)
 _ROW_IDS = itertools.count(1)
 
 
-@dataclass
 class StoredDocument:
     """An XML document stored in an XML column.
 
     ``doc_id`` is the unit of index postings and of Definition 1's
     pre-filtering: probing an index yields a set of doc_ids.
+
+    The XDM tree behind :attr:`document` is a *view* over the
+    document's columnar store (see :mod:`repro.storage.columnar`).
+    When the database runs with a buffer pool, a cold document's tree
+    (and, with a spill directory, its columns) may have been evicted;
+    the property transparently re-materializes it — with identical
+    node ids — so callers never observe the difference beyond latency.
     """
 
-    doc_id: int
-    document: DocumentNode
-    schema_name: str | None = None
+    __slots__ = ("doc_id", "schema_name", "_document", "_store",
+                 "_schema", "_pool")
+
+    def __init__(self, doc_id: int, document: DocumentNode,
+                 schema_name: str | None = None):
+        self.doc_id = doc_id
+        self.schema_name = schema_name
+        self._document: DocumentNode | None = document
+        #: Columnar store backing the document (set at catalog ingest).
+        self._store = None
+        #: Registered validation Schema, re-applied on re-materialize.
+        self._schema = None
+        #: Owning BufferPool, or None when the database is un-pooled.
+        self._pool = None
+
+    @property
+    def document(self) -> DocumentNode:
+        document = self._document
+        pool = self._pool
+        if document is not None:
+            if pool is not None:
+                pool.touch(self)
+            return document
+        return pool.load(self)
+
+    def __repr__(self) -> str:
+        state = "resident" if self._document is not None else "evicted"
+        return f"<StoredDocument #{self.doc_id} {state}>"
 
 
 @dataclass

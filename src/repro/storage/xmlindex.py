@@ -40,6 +40,7 @@ from ..xdm.atomic import (AtomicValue, T_DATE, T_DATETIME, T_DOUBLE,
                           T_STRING, cast)
 from ..xdm.nodes import DocumentNode, Node
 from .btree import BPlusTree
+from .columnar import get_store
 from .pathsummary import (PatternMatcher, get_summary,
                           indexable_nodes as _indexable_nodes)
 
@@ -123,9 +124,14 @@ class XmlIndex:
 
     def _matching_nodes(self, document: DocumentNode):
         """(node, path) pairs of the document matching this index's
-        pattern — via the path summary when one exists (the pattern is
-        then tested once per *distinct* path instead of once per node),
-        falling back to a full walk otherwise."""
+        pattern — preferably as a clustered range scan over the
+        document's columnar store (the pattern is tested once per
+        *distinct* path, then only the matching path partitions are
+        scanned), via the path summary when only that exists, falling
+        back to a full object walk otherwise."""
+        store = get_store(document)
+        if store is not None:
+            return store.nodes_matching(self._pattern_matcher)
         summary = get_summary(document, build=True)
         if summary is not None:
             return summary.nodes_matching(self._pattern_matcher)

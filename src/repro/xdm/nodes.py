@@ -31,6 +31,24 @@ from .qname import QName
 
 _NODE_IDS = itertools.count(1)
 
+
+def reserve_node_ids(minimum: int) -> None:
+    """Ensure future node ids are all greater than ``minimum``.
+
+    Materializing a column store shipped from another process (replica
+    bootstrap) restores that process's node ids verbatim; bumping the
+    local counter past them keeps ids unique within this process so
+    identity-based set operations (``except``/``intersect``, document
+    -order keys) never conflate nodes of different trees.  Callers run
+    single-threaded (bootstrap/recovery); a concurrent construction
+    racing the swap could still draw a low id from the old counter,
+    which is why the shipping paths reserve before any local parsing.
+    """
+    global _NODE_IDS
+    with _NUMBER_LOCK:
+        current = next(_NODE_IDS)
+        _NODE_IDS = itertools.count(max(current, minimum + 1))
+
 #: Serializes lazy renumbering.  Two concurrent readers triggering
 #: ``_number_tree`` on the same tree would each mint their own
 #: ``_TreeStamp``, leaving the tree with *mixed* stamps — a later
@@ -234,7 +252,8 @@ class DocumentNode(Node):
 
     kind = "document"
 
-    __slots__ = ("_children", "document_uri", "path_summary")
+    __slots__ = ("_children", "document_uri", "path_summary",
+                 "column_store")
 
     def __init__(self, children: list[Node] | None = None,
                  document_uri: str = ""):
@@ -245,6 +264,11 @@ class DocumentNode(Node):
         #: :mod:`repro.storage.pathsummary`); stamp-validated, so a
         #: stale summary is rebuilt lazily after mutations.
         self.path_summary = None
+        #: Columnar accelerator table attached at ingest (see
+        #: :mod:`repro.storage.columnar`); stamp-validated like the
+        #: path summary, so axis fast paths fall back to object walks
+        #: after mutations.
+        self.column_store = None
         for child in children or []:
             self.append_child(child)
 

@@ -834,8 +834,17 @@ def _axis_nodes(node: Node, axis: str) -> list[Node]:
     if axis == "self":
         return [node]
     if axis == "descendant-or-self":
+        # Columnar fast path: a subtree is one contiguous slot range of
+        # the accelerator table, so the recursive object walk becomes a
+        # single range scan (see repro.storage.columnar).
+        store = _column_store_for(node)
+        if store is not None:
+            return store.descendants_or_self(node)
         return list(node.descendants_or_self())
     if axis == "descendant":
+        store = _column_store_for(node)
+        if store is not None:
+            return store.descendants_or_self(node)[1:]
         result = list(node.descendants_or_self())
         return result[1:]
     if axis == "parent":
@@ -867,6 +876,11 @@ def _axis_nodes(node: Node, axis: str) -> list[Node]:
         if anchor is None:
             return []
         _tree, pre, post, _level = anchor.structure()
+        store = _column_store_for(anchor)
+        if store is not None:
+            if axis == "following":
+                return store.following(anchor)
+            return list(reversed(store.preceding(anchor)))
         if axis == "following":
             return [candidate for candidate
                     in anchor.root.descendants_or_self()
@@ -876,6 +890,19 @@ def _axis_nodes(node: Node, axis: str) -> list[Node]:
             [candidate for candidate in anchor.root.descendants_or_self()
              if candidate._order[1] < pre and candidate._post < post]))
     raise XQueryDynamicError(f"unsupported axis {axis!r}")
+
+
+def _column_store_for(node: Node):
+    """Resolve the columnar accelerator table behind ``node`` (None for
+    constructed/mutated trees, which keep the object-walk paths)."""
+    global _store_for_node
+    if _store_for_node is None:
+        from ..storage.columnar import store_for_node
+        _store_for_node = store_for_node
+    return _store_for_node(node)
+
+
+_store_for_node = None
 
 
 def _test_matches(test: ast.NodeTest, node: Node, axis: str) -> bool:

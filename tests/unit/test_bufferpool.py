@@ -1,0 +1,190 @@
+"""Unit tests for the document buffer pool (``repro.storage.bufferpool``).
+
+Covers the LRU accounting, tier-1 eviction (drop the materialized
+tree, keep the columns), tier-2 spill (drop the columns to a spool
+file), transparent reload through ``StoredDocument.document``, and the
+``bufferpool.*`` metrics contract.
+"""
+
+import pytest
+
+from repro.obs.metrics import METRICS, enabled_metrics
+from repro.storage.bufferpool import BufferPool
+from repro.storage.catalog import Database
+from repro.storage.columnar import ingest_document
+from repro.storage.table import StoredDocument
+from repro.xmlio import parse_document
+from repro.xmlio.serializer import serialize
+
+BIG_XML = ("<order>" +
+           "".join(f"<lineitem price=\"{i}\"><product><id>p{i}</id>"
+                   f"</product></lineitem>" for i in range(40)) +
+           "</order>")
+
+
+def make_stored(doc_id: int, xml: str = BIG_XML) -> StoredDocument:
+    document = parse_document(xml)
+    stored = StoredDocument(doc_id, document)
+    stored._store = ingest_document(document)
+    return stored
+
+
+class TestPoolMechanics:
+    def test_disabled_pool_is_inert(self):
+        pool = BufferPool(None)
+        assert not pool.enabled
+        stored = make_stored(1)
+        pool.admit(stored)
+        assert pool.resident_bytes == 0
+        assert stored.document is not None
+
+    def test_admit_within_budget_keeps_tree(self):
+        pool = BufferPool(50_000_000)
+        stored = make_stored(1)
+        stored._pool = pool
+        pool.admit(stored)
+        assert stored._document is not None
+        assert pool.resident_bytes > 0
+
+    def test_eviction_under_budget_pressure(self):
+        pool = BufferPool(1)  # nothing fits: everything but the
+        docs = []             # most recent access gets evicted
+        for doc_id in range(3):
+            stored = make_stored(doc_id)
+            stored._pool = pool
+            pool.admit(stored)
+            docs.append(stored)
+        assert sum(1 for s in docs if s._document is None) >= 2
+
+    def test_evicted_document_reloads_transparently(self):
+        pool = BufferPool(1)
+        first, second = make_stored(1), make_stored(2)
+        expected = serialize(first._document)
+        original_ids = first._document.root_element.node_id
+        for stored in (first, second):
+            stored._pool = pool
+            pool.admit(stored)
+        assert first._document is None  # evicted by second's admit
+        reloaded = first.document       # transparent re-materialize
+        assert serialize(reloaded) == expected
+        assert reloaded.root_element.node_id == original_ids
+
+    def test_touch_refreshes_lru_position(self):
+        # Exact budget games are fragile; test ordering directly.
+        pool = BufferPool(50_000_000)
+        a, b = make_stored(1), make_stored(2)
+        for stored in (a, b):
+            pool._lru[stored.doc_id] = stored
+            pool._charged[stored.doc_id] = 1
+        pool.touch(a)
+        assert list(pool._lru) == [2, 1]
+
+    def test_discard_forgets_document(self):
+        pool = BufferPool(50_000_000)
+        stored = make_stored(1)
+        stored._pool = pool
+        pool.admit(stored)
+        charged = pool.resident_bytes
+        assert charged > 0
+        pool.discard(stored)
+        assert pool.resident_bytes == 0
+        assert stored.doc_id not in pool._lru
+
+
+class TestSpill:
+    def test_tier2_spill_writes_and_reloads(self, tmp_path):
+        pool = BufferPool(1, spill_dir=str(tmp_path / "spool"))
+        first, second = make_stored(1), make_stored(2)
+        expected = serialize(first._document)
+        for stored in (first, second):
+            stored._pool = pool
+            pool.admit(stored)
+        # Tier-2 eviction dropped the columns too; only the spool file
+        # remains.
+        assert first._document is None
+        assert first._store is None
+        spool_files = list((tmp_path / "spool").iterdir())
+        assert any(path.name == "doc-1.cols" for path in spool_files)
+        assert serialize(first.document) == expected
+
+    def test_spill_preserves_node_ids(self, tmp_path):
+        pool = BufferPool(1, spill_dir=str(tmp_path / "spool"))
+        first, second = make_stored(1), make_stored(2)
+        original = [n.node_id for n in first._document.descendants_or_self()]
+        for stored in (first, second):
+            stored._pool = pool
+            pool.admit(stored)
+        reloaded = first.document
+        restored = [n.node_id for n in reloaded.descendants_or_self()]
+        assert restored == original
+
+
+class TestMetrics:
+    def test_hit_miss_eviction_counters(self):
+        with enabled_metrics():
+            pool = BufferPool(1)
+            first, second = make_stored(1), make_stored(2)
+            for stored in (first, second):
+                stored._pool = pool
+                pool.admit(stored)
+            assert METRICS.counter("bufferpool.evictions") >= 1
+            _ = first.document   # miss: re-materialize
+            assert METRICS.counter("bufferpool.misses") >= 1
+            _ = second.document if second._document is not None else None
+            before = METRICS.counter("bufferpool.hits")
+            _ = first.document   # first is now resident -> hit
+            assert METRICS.counter("bufferpool.hits") > before
+
+    def test_spill_and_load_counters(self, tmp_path):
+        with enabled_metrics():
+            pool = BufferPool(1, spill_dir=str(tmp_path / "spool"))
+            first, second = make_stored(1), make_stored(2)
+            for stored in (first, second):
+                stored._pool = pool
+                pool.admit(stored)
+            assert METRICS.counter("bufferpool.spills") >= 1
+            _ = first.document
+            assert METRICS.counter("bufferpool.loads") >= 1
+
+
+class TestDatabaseIntegration:
+    def test_database_without_budget_has_inactive_pool(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BUFFER_POOL_BYTES", raising=False)
+        database = Database()
+        assert not database.buffer_pool.enabled
+        database.create_table("t", [("id", "INTEGER"), ("d", "XML")])
+        row = database.insert("t", {"id": 1, "d": "<a><b/></a>"})
+        assert row.values["d"]._pool is None
+
+    def test_database_with_budget_registers_documents(self):
+        # An explicit budget always wins over the environment default.
+        database = Database(buffer_pool_bytes=50_000_000)
+        assert database.buffer_pool.enabled
+        database.create_table("t", [("id", "INTEGER"), ("d", "XML")])
+        row = database.insert("t", {"id": 1, "d": "<a><b/></a>"})
+        stored = row.values["d"]
+        assert stored._pool is database.buffer_pool
+        assert stored.doc_id in database.buffer_pool._lru
+
+    def test_env_var_sets_default_budget(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BUFFER_POOL_BYTES", "12345")
+        database = Database()
+        assert database.buffer_pool.enabled
+        assert database.buffer_pool.budget_bytes == 12345
+
+    def test_queries_survive_eviction_churn(self):
+        database = Database(buffer_pool_bytes=1)
+        database.create_table("t", [("id", "INTEGER"), ("d", "XML")])
+        for i in range(4):
+            database.insert("t", {"id": i, "d": BIG_XML})
+        result = database.xquery(
+            "count(db2-fn:xmlcolumn('T.D')//lineitem)")
+        assert result.serialized() == "160"
+
+    def test_delete_discards_from_pool(self):
+        database = Database(buffer_pool_bytes=50_000_000)
+        database.create_table("t", [("id", "INTEGER"), ("d", "XML")])
+        database.insert("t", {"id": 1, "d": "<a/>"})
+        assert database.buffer_pool.resident_bytes > 0
+        database.delete_rows("t")
+        assert database.buffer_pool.resident_bytes == 0

@@ -1,0 +1,227 @@
+"""Unit tests for the columnar node store (``repro.storage.columnar``).
+
+The store is the accelerator-table representation of one parsed
+document: parallel (pre, post, level, kind, parent, text) columns in
+document order, path partitions for pattern matching, and a lazy
+``materialize()`` that rebuilds a serialize-identical XDM tree with
+the original node identities.
+"""
+
+import pytest
+
+from repro.storage.columnar import (ColumnStore, KIND_ATTRIBUTE,
+                                    KIND_DOCUMENT, get_store,
+                                    ingest_document, store_for_node)
+from repro.xdm.nodes import DocumentNode
+from repro.xmlio import parse_document
+from repro.xmlio.serializer import serialize
+
+COMPLEX_XML = (
+    "<?xml version=\"1.0\"?>"
+    "<order xmlns:m=\"urn:meta\" m:origin=\"paper\">"
+    "<!-- running example -->"
+    "<date>January 1, 2002</date>"
+    "<lineitem price=\"99.50\" quantity=\"2\">"
+    "<product><id>gadget</id></product>"
+    "</lineitem>"
+    "<lineitem><price>250</price><price>50</price>"
+    "<m:note>bulk<em>discount</em></m:note></lineitem>"
+    "<?audit checked?>"
+    "</order>")
+
+
+def build(xml: str = COMPLEX_XML):
+    document = parse_document(xml)
+    store = ColumnStore.from_document(document)
+    return document, store
+
+
+def walk_all(node):
+    """Every node including attributes, in document (pre) order."""
+    yield node
+    for attribute in node.attributes:
+        yield attribute
+    for child in node.children:
+        yield from walk_all(child)
+
+
+class TestColumnLayout:
+    def test_slot_equals_pre_number(self):
+        document, store = build()
+        for slot, node in enumerate(walk_all(document)):
+            assert store.nodes[slot] is node
+            assert node._order[1] == slot
+
+    def test_post_level_columns_match_structure(self):
+        document, store = build()
+        for slot, node in enumerate(walk_all(document)):
+            assert store.post[slot] == node._post
+            assert store.level[slot] == node._level
+
+    def test_parent_column(self):
+        document, store = build()
+        for slot, node in enumerate(walk_all(document)):
+            if node is document:
+                assert store.parent[slot] == -1
+            else:
+                parent_slot = store.parent[slot]
+                assert store.nodes[parent_slot] is node.parent
+
+    def test_subtree_end_is_contiguous_descendant_range(self):
+        document, store = build()
+        for slot, node in enumerate(walk_all(document)):
+            expected = sum(1 for _ in walk_all(node))
+            assert store.subtree_end[slot] - slot == expected
+
+    def test_node_ids_column_records_identity(self):
+        document, store = build()
+        for slot, node in enumerate(walk_all(document)):
+            assert store.node_ids[slot] == node.node_id
+
+    def test_text_of_matches_string_value(self):
+        document, store = build()
+        for slot, node in enumerate(walk_all(document)):
+            if node.kind in ("attribute", "text", "comment",
+                             "processing-instruction"):
+                assert store.text_of(slot) == node.string_value()
+
+
+class TestAxisScans:
+    def test_descendants_or_self_equals_object_walk(self):
+        document, store = build()
+        for node in walk_all(document):
+            if node.kind == "attribute":
+                continue
+            expected = [n.node_id for n in node.descendants_or_self()]
+            got = [n.node_id for n in store.descendants_or_self(node)]
+            assert got == expected
+
+    def test_following_axis(self):
+        document, store = build()
+        everything = [n for n in walk_all(document)
+                      if n.kind != "attribute"]
+        for anchor in everything:
+            if anchor is document:
+                continue
+            expected = [n.node_id for n in everything
+                        if n._order[1] > anchor._order[1]
+                        and not anchor.is_ancestor_of(n)]
+            got = [n.node_id for n in store.following(anchor)]
+            assert got == expected
+
+    def test_preceding_axis(self):
+        document, store = build()
+        everything = [n for n in walk_all(document)
+                      if n.kind != "attribute"]
+        for anchor in everything:
+            if anchor is document:
+                continue
+            expected = [n.node_id for n in everything
+                        if n._order[1] < anchor._order[1]
+                        and not n.is_ancestor_of(anchor)]
+            got = [n.node_id for n in store.preceding(anchor)]
+            assert got == expected
+
+    def test_partitions_cover_every_slot_once(self):
+        # Every slot except the document node (which has no path)
+        # appears in exactly one path partition.
+        _document, store = build()
+        seen = sorted(slot for slots in store.partitions
+                      for slot in slots)
+        assert seen == list(range(1, len(store.post)))
+
+
+class TestMaterialize:
+    def test_round_trip_is_serialize_identical(self):
+        document, store = build()
+        rebuilt = store.materialize()
+        assert isinstance(rebuilt, DocumentNode)
+        assert serialize(rebuilt) == serialize(document)
+
+    def test_round_trip_preserves_node_ids(self):
+        document, store = build()
+        rebuilt = store.materialize()
+        original = [n.node_id for n in walk_all(document)]
+        restored = [n.node_id for n in walk_all(rebuilt)]
+        assert restored == original
+
+    def test_materialized_tree_is_attached_to_store(self):
+        _document, store = build()
+        rebuilt = store.materialize()
+        assert rebuilt.column_store is store
+        assert get_store(rebuilt) is store
+        assert rebuilt.path_summary is not None
+
+
+class TestPayloadRoundTrip:
+    def test_payload_round_trip_serialize_identical(self):
+        document, store = build()
+        payload = store.to_payload()
+        restored = ColumnStore.from_payload(payload)
+        assert serialize(restored.materialize()) == serialize(document)
+
+    def test_payload_round_trip_preserves_node_ids(self):
+        document, store = build()
+        restored = ColumnStore.from_payload(store.to_payload())
+        rebuilt = restored.materialize()
+        original = [n.node_id for n in walk_all(document)]
+        assert [n.node_id for n in walk_all(rebuilt)] == original
+
+    def test_restored_ids_never_collide_with_new_nodes(self):
+        # from_payload reserves the restored id range, so a document
+        # parsed afterwards mints strictly larger node ids (replica
+        # bootstrap relies on this for cross-tree document order).
+        document, store = build()
+        restored = ColumnStore.from_payload(store.to_payload())
+        highest = max(restored.node_ids)
+        fresh = parse_document("<a><b/></a>")
+        assert min(n.node_id for n in walk_all(fresh)) > highest
+
+
+class TestStoreLifecycle:
+    def test_get_store_requires_valid_stamp(self):
+        document, store = build("<a><b>x</b></a>")
+        assert get_store(document) is store
+        # Mutating the tree invalidates the stamp: the store must no
+        # longer be offered for that document.
+        element = document.root_element
+        element.remove_child(element.children[0])
+        assert get_store(document) is None
+
+    def test_store_for_node_walks_to_root(self):
+        document, store = build("<a><b><c/></b></a>")
+        leaf = document.root_element.children[0].children[0]
+        assert store_for_node(leaf) is store
+
+    def test_ingest_document_reuses_current_store(self):
+        document = parse_document("<a><b/></a>")
+        first = ingest_document(document)
+        assert ingest_document(document) is first
+
+    def test_detach_clears_tree_references(self):
+        _document, store = build("<a><b/></a>")
+        store.detach()
+        assert store.nodes is None
+        # Columns survive detach: a later materialize still works.
+        rebuilt = store.materialize()
+        assert serialize(rebuilt) == "<a><b/></a>"
+
+    def test_kind_column_codes(self):
+        _document, store = build()
+        assert store.kind[0] == KIND_DOCUMENT
+        assert KIND_ATTRIBUTE in set(store.kind)
+
+
+class TestEdgeShapes:
+    @pytest.mark.parametrize("xml", [
+        "<a/>",
+        "<a>text only</a>",
+        "<a><!-- c --><?pi d?></a>",
+        "<a xmlns=\"urn:d\"><b attr=\"1\"/></a>",
+        "<a>mixed<b/>tail</a>",
+    ])
+    def test_small_shapes_round_trip(self, xml):
+        document, store = build(xml)
+        assert serialize(store.materialize()) == serialize(document)
+        restored = ColumnStore.from_payload(store.to_payload())
+        assert serialize(restored.materialize()) == serialize(document)

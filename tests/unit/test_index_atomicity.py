@@ -1,0 +1,174 @@
+"""Fault-injection regression tests for all-or-nothing index inserts.
+
+The historical bug (fixed in the same change that added these tests):
+``Database._index_row`` ran the relational-index loop *outside* the
+xml-index rollback scope, so a failing rel-index insert left orphaned
+xml-index postings (and earlier rel-index entries) behind even though
+the row itself was rolled back.  These tests inject failures at every
+insert site and pin the fixed, atomic behaviour — they fail on the
+pre-fix code.
+"""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.storage.catalog import Database
+from repro.storage.table import Row
+
+
+def make_db() -> Database:
+    database = Database()
+    database.create_table("orders", [("ordid", "INTEGER"),
+                                     ("flag", "INTEGER"),
+                                     ("orddoc", "XML")])
+    database.execute(
+        "CREATE INDEX li_price ON orders(orddoc) "
+        "USING XMLPATTERN '//lineitem/@price' AS DOUBLE")
+    database.create_relational_index("idx_ordid", "orders", "ordid")
+    database.create_relational_index("idx_flag", "orders", "flag")
+    return database
+
+
+GOOD_ROW = {"ordid": 1, "flag": 7,
+            "orddoc": "<order><lineitem price='99.50'/></order>"}
+
+
+def index_sizes(database: Database) -> dict[str, int]:
+    sizes = {name: len(index)
+             for name, index in database.xml_indexes.items()}
+    sizes.update({name: len(index)
+                  for name, index in database.rel_indexes.items()})
+    return sizes
+
+
+class Boom(RuntimeError):
+    pass
+
+
+def failing(*_args, **_kwargs):
+    raise Boom("injected index failure")
+
+
+class TestRelIndexFailureUnwindsEverything:
+    """The regression the bug sweep fixes: rel-index faults must unwind
+    xml postings and earlier rel entries, not just the row."""
+
+    def test_failure_at_first_rel_index(self):
+        database = make_db()
+        database.rel_indexes["idx_ordid"].insert_row = failing
+        before = index_sizes(database)
+        with pytest.raises(Boom):
+            database.insert("orders", GOOD_ROW)
+        # Pre-fix: li_price kept the posting for the rolled-back row.
+        assert index_sizes(database) == before
+        assert len(database.table("orders").rows) == 0
+
+    def test_failure_at_second_rel_index_unwinds_first(self):
+        database = make_db()
+        database.rel_indexes["idx_flag"].insert_row = failing
+        with pytest.raises(Boom):
+            database.insert("orders", GOOD_ROW)
+        # idx_ordid's entry was added before the fault and must be
+        # unwound with everything else.
+        assert all(size == 0 for size in index_sizes(database).values())
+        assert len(database.table("orders").rows) == 0
+
+    def test_version_not_bumped_on_failed_insert(self):
+        database = make_db()
+        database.rel_indexes["idx_flag"].insert_row = failing
+        version = database.version
+        with pytest.raises(Boom):
+            database.insert("orders", GOOD_ROW)
+        assert database.version == version
+
+    def test_subsequent_inserts_work_after_rollback(self):
+        database = make_db()
+        original = database.rel_indexes["idx_flag"].insert_row
+        database.rel_indexes["idx_flag"].insert_row = failing
+        with pytest.raises(Boom):
+            database.insert("orders", GOOD_ROW)
+        database.rel_indexes["idx_flag"].insert_row = original
+        database.insert("orders", GOOD_ROW)
+        assert index_sizes(database) == {
+            "li_price": 1, "idx_ordid": 1, "idx_flag": 1}
+
+    def test_query_results_unaffected_by_failed_insert(self):
+        database = make_db()
+        database.insert("orders", GOOD_ROW)
+        oracle = database.xquery(
+            "db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+            "//lineitem[@price > 50]").serialized()
+        database.rel_indexes["idx_flag"].insert_row = failing
+        with pytest.raises(Boom):
+            database.insert("orders", {
+                "ordid": 2, "flag": 9,
+                "orddoc": "<order><lineitem price='150'/></order>"})
+        answer = database.xquery(
+            "db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+            "//lineitem[@price > 50]").serialized()
+        assert answer == oracle
+
+
+class TestXmlIndexFailure:
+    def test_failure_in_xml_index_leaves_no_rel_entries(self):
+        database = make_db()
+        database.xml_indexes["li_price"].index_document = failing
+        with pytest.raises(Boom):
+            database.insert("orders", GOOD_ROW)
+        assert all(size == 0 for size in index_sizes(database).values())
+        assert len(database.table("orders").rows) == 0
+
+    def test_failure_at_second_xml_index_unwinds_first(self):
+        database = make_db()
+        database.execute(
+            "CREATE INDEX o_flag ON orders(orddoc) "
+            "USING XMLPATTERN '//lineitem/@price' AS VARCHAR")
+        database.xml_indexes["o_flag"].index_document = failing
+        with pytest.raises(Boom):
+            database.insert("orders", GOOD_ROW)
+        assert len(database.xml_indexes["li_price"]) == 0
+
+
+class TestMissingIndexedColumn:
+    """``row.values[index.column]`` used to escape as a raw
+    ``KeyError``; it must surface as a typed CatalogError with an
+    SQLSTATE-style code.  The public insert path None-fills missing
+    columns, so the degenerate state — a row whose values dict lacks
+    the indexed key outright, e.g. one that predates the column — is
+    driven through ``_index_row`` directly."""
+
+    @staticmethod
+    def orphan_row():
+        row = Row(999_999)
+        row.values["ordid"] = 3   # idx_ordid is satisfied...
+        return row                # ...idx_flag's column is absent
+
+    def test_missing_column_raises_catalog_error(self):
+        database = make_db()
+        with pytest.raises(CatalogError) as excinfo:
+            database._index_row(database.table("orders"),
+                                self.orphan_row())
+        assert excinfo.value.sqlstate == "42703"
+        assert "orders.flag" in str(excinfo.value)
+        assert not isinstance(excinfo.value, KeyError)
+
+    def test_missing_column_failure_is_atomic(self):
+        database = make_db()
+        with pytest.raises(CatalogError):
+            database._index_row(database.table("orders"),
+                                self.orphan_row())
+        # The idx_ordid entry added before the typed failure is
+        # unwound with everything else.
+        assert all(size == 0 for size in index_sizes(database).values())
+
+    def test_public_insert_none_fills_missing_columns(self):
+        # Through the public path a missing column means an indexed
+        # None, not an error — pin that contract too.
+        database = make_db()
+        database.insert("orders", {
+            "ordid": 3,
+            "orddoc": "<order><lineitem price='1'/></order>"})
+        assert len(database.table("orders").rows) == 1
+
+    def test_default_sqlstate_is_42000(self):
+        assert CatalogError("boom").sqlstate == "42000"
