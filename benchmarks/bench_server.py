@@ -1,0 +1,129 @@
+"""The network front door's toll: socket round-trips vs in-process calls.
+
+``repro serve`` adds framing, JSON encode/decode, an admission queue,
+and a thread-pool hop to every query.  This suite measures what that
+costs against the same database called directly:
+
+* ``test_inprocess_point_query`` / ``test_server_point_query`` — a
+  cheap indexed point query, where the protocol overhead is the
+  dominant term.  The gap between these two medians IS the per-query
+  toll of the front door.
+* ``test_server_prepared_point_query`` — the same query through a
+  prepared handle; preparation pins the compiled plan, so this must
+  not be slower than the ad-hoc socket path.
+* ``test_server_scan_query`` — a descendant scan where evaluation
+  dominates; the socket toll should shrink into the noise here.
+* ``test_overhead_ratio`` — the headline numbers, recorded in
+  BENCH_results.json under ``notes``: round-trip overhead in
+  milliseconds and the ratio on cheap vs expensive queries.
+
+The server runs in-process via ``ServerThread`` (own event loop, real
+TCP socket on loopback) so the suite needs no subprocess management
+and the numbers are pure protocol + dispatch cost, not process boot.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import pytest
+
+from conftest import build_db, register_bench_note
+
+from repro.server import ServerClient, ServerThread
+
+#: Cheap, index-eligible point query: protocol cost dominates.
+POINT_QUERY = ("for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+               "//order[lineitem/@price>190] return $i/custid")
+
+#: Descendant scan over every document: evaluation dominates.
+SCAN_QUERY = ("count(for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')"
+              "//order, $l in $o//lineitem return $l)")
+
+
+@pytest.fixture(scope="module")
+def server_db():
+    return build_db(orders=120)
+
+
+@pytest.fixture(scope="module")
+def served(server_db):
+    with ServerThread(server_db, port=0) as (host, port):
+        with ServerClient(host, port) as client:
+            client.query(POINT_QUERY)  # warm plan cache + connection
+            yield server_db, client
+
+
+def test_inprocess_point_query(benchmark, server_db):
+    result = benchmark(lambda: server_db.xquery(POINT_QUERY))
+    assert len(result) > 0
+
+
+def test_server_point_query(benchmark, served):
+    _db, client = served
+    payload = benchmark(lambda: client.query(POINT_QUERY))
+    assert payload["ok"] and payload["items"]
+
+
+def test_server_prepared_point_query(benchmark, served):
+    _db, client = served
+    handle = client.prepare(POINT_QUERY)
+    try:
+        payload = benchmark(lambda: client.execute(handle))
+        assert payload["ok"] and payload["items"]
+    finally:
+        client.deallocate(handle)
+
+
+def test_server_scan_query(benchmark, served):
+    _db, client = served
+    payload = benchmark(lambda: client.query(SCAN_QUERY))
+    assert payload["ok"]
+
+
+def _median(callable_, rounds: int) -> float:
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        callable_()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def test_overhead_ratio(served):
+    """Record the front door's toll; gate only on sanity, not speed —
+    absolute socket latency is host-dependent, but the *structure*
+    (overhead constant, so its share shrinks as queries grow) is not."""
+    database, client = served
+    rounds = 15
+    direct_point = _median(lambda: database.xquery(POINT_QUERY), rounds)
+    socket_point = _median(lambda: client.query(POINT_QUERY), rounds)
+    direct_scan = _median(lambda: database.xquery(SCAN_QUERY), rounds)
+    socket_scan = _median(lambda: client.query(SCAN_QUERY), rounds)
+
+    toll_ms = (socket_point - direct_point) * 1000.0
+    point_ratio = socket_point / direct_point
+    scan_ratio = socket_scan / direct_scan
+    register_bench_note("server.round_trip_toll_ms", round(toll_ms, 3))
+    register_bench_note("server.point_query_ratio",
+                        round(point_ratio, 2))
+    register_bench_note("server.scan_query_ratio",
+                        round(scan_ratio, 2))
+    register_bench_note(
+        "server.note",
+        f"socket vs in-process: point query {point_ratio:.2f}x "
+        f"({toll_ms:.2f}ms toll), scan query {scan_ratio:.2f}x — the "
+        f"toll is per-round-trip, so its share shrinks as evaluation "
+        f"grows")
+
+    # The toll must be roughly constant: an expensive query cannot pay
+    # proportionally more for the socket than a cheap one does.
+    assert scan_ratio <= point_ratio * 1.5 + 0.5, (
+        f"socket overhead scaled with query cost: point {point_ratio:.2f}x "
+        f"vs scan {scan_ratio:.2f}x — the front door is doing "
+        f"per-item work it shouldn't")
+    # Sanity ceiling on the cheap path: framing + JSON + thread hop on
+    # loopback must stay within 20x of a direct call.
+    assert point_ratio < 20.0, (
+        f"pathological socket overhead: {point_ratio:.2f}x in-process")

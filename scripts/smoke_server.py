@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""CI smoke test for ``repro serve`` — the full lifecycle, end to end.
+
+Boots the server as a real subprocess on a durable data directory,
+then checks the three facts the serving layer rests on:
+
+* all 30 paper queries over the socket are **byte-identical** to the
+  in-process answers (engine errors included — they are part of the
+  canonical output);
+* a prepared statement executes and matches its ad-hoc twin;
+* SIGTERM drains gracefully: the process prints ``drained``, exits 0,
+  and the data directory reopens cleanly afterwards.
+
+Exits non-zero (with a message) on any violation.  Run as:
+
+    PYTHONPATH=src python scripts/smoke_server.py
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.durability import DurableDatabase  # noqa: E402
+from repro.server import ServerClient, render_payload  # noqa: E402
+from repro.workload.paperqueries import (PAPER_QUERIES,  # noqa: E402
+                                         load_paper_fixture,
+                                         run_paper_query)
+
+BOOT_DEADLINE = 30.0
+DRAIN_DEADLINE = 30.0
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def boot(data_dir: str) -> tuple[subprocess.Popen, str, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--data", data_dir,
+         "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env, cwd=REPO)
+    deadline = time.monotonic() + BOOT_DEADLINE
+    while True:
+        line = process.stdout.readline()
+        if line.startswith("serving on "):
+            host, _, port = line.split()[-1].rpartition(":")
+            return process, host, int(port)
+        if process.poll() is not None or time.monotonic() > deadline:
+            fail(f"server never announced itself (last line: {line!r})")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as scratch:
+        data_dir = os.path.join(scratch, "db")
+        with DurableDatabase(data_dir) as oracle_db:
+            load_paper_fixture(oracle_db)
+            oracle = {number: run_paper_query(oracle_db, number)
+                      for number in PAPER_QUERIES}
+            oracle_db.checkpoint()
+
+        process, host, port = boot(data_dir)
+        try:
+            with ServerClient(host, port) as client:
+                mismatches = []
+                for number in sorted(PAPER_QUERIES):
+                    _kind, statement = PAPER_QUERIES[number]
+                    answer = client.query_text(statement)
+                    if answer != oracle[number]:
+                        mismatches.append(number)
+                if mismatches:
+                    fail(f"queries not byte-identical: {mismatches}")
+
+                handle = client.prepare(PAPER_QUERIES[1][1])
+                prepared = render_payload(client.execute(handle))
+                if prepared != oracle[1]:
+                    fail("prepared execution diverged from oracle")
+                client.deallocate(handle)
+
+                if not client.ping():
+                    fail("ping failed")
+                stats = client.stats()
+                if "server.queries" not in stats:
+                    fail(f"stats missing server.queries: {stats!r}")
+
+            process.send_signal(signal.SIGTERM)
+            try:
+                out, _ = process.communicate(timeout=DRAIN_DEADLINE)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                fail("server did not drain within deadline after SIGTERM")
+            if process.returncode != 0:
+                fail(f"server exited {process.returncode}: {out!r}")
+            if "drained" not in out:
+                fail(f"server never printed 'drained': {out!r}")
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+
+        # The drained directory must reopen cleanly (WAL was flushed).
+        with DurableDatabase(data_dir) as reopened:
+            answer = run_paper_query(reopened, 1)
+            if answer != oracle[1]:
+                fail("reopened database diverged after drain")
+
+    print(f"smoke ok: {len(PAPER_QUERIES)} queries byte-identical over "
+          "the socket; prepared execution matched; SIGTERM drained, "
+          "exit 0, and the data directory reopened cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -129,6 +129,45 @@ def build_parser() -> argparse.ArgumentParser:
                          help="check rebuilt path summaries against "
                               "the checkpoint (exit 1 on mismatch)")
 
+    serve = commands.add_parser(
+        "serve", help="serve the database over a length-prefixed JSON "
+                      "protocol: sessions, prepared statements, "
+                      "admission control; SIGTERM drains gracefully")
+    _add_data_arguments(serve)
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port; 0 picks a free one and prints "
+                            "it (default: 0)")
+    serve.add_argument("--max-active", type=int, default=4,
+                       metavar="N",
+                       help="statements executing concurrently "
+                            "(engine threads; default: 4)")
+    serve.add_argument("--max-queue", type=int, default=16,
+                       metavar="N",
+                       help="statements allowed to wait for a slot; "
+                            "arrivals beyond this are shed with "
+                            "SQLSTATE 53300 (default: 16)")
+    serve.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="default per-statement deadline (SQLSTATE "
+                            "57014 on overrun; default: none)")
+    serve.add_argument("--max-rows", type=int, default=None,
+                       metavar="N",
+                       help="default per-statement row budget "
+                            "(SQLSTATE 54000; default: none)")
+    serve.add_argument("--max-bytes", type=int, default=None,
+                       metavar="N",
+                       help="default per-statement serialized-result "
+                            "byte budget (SQLSTATE 54000; default: "
+                            "none)")
+    serve.add_argument("--fixture", action="store_true",
+                       help="without --data: serve an in-memory "
+                            "database preloaded with the paper fixture")
+    serve.add_argument("--metrics", action="store_true",
+                       help="enable the engine metrics registry; the "
+                            "'stats' op then includes it")
+
     for number in range(1, 31):
         paper = commands.add_parser(
             f"q{number}", help=f"answer paper query {number} from a "
@@ -270,6 +309,51 @@ def run_paper_query_command(number: int, arguments, out) -> int:
     return 0
 
 
+def run_serve(arguments, out) -> int:
+    """``repro serve``: the network front door.
+
+    Prints ``serving on HOST:PORT`` once the socket is bound (scripts
+    parse that line), then blocks until SIGTERM/SIGINT completes a
+    graceful drain: stop accepting, finish in-flight statements, flush
+    the WAL, print ``drained``, exit 0.
+    """
+    import asyncio
+
+    from .server import ReproServer
+
+    async def _serve(database) -> None:
+        server = ReproServer(
+            database, host=arguments.host, port=arguments.port,
+            max_active=arguments.max_active,
+            max_queue=arguments.max_queue,
+            default_timeout=arguments.timeout,
+            default_max_rows=arguments.max_rows,
+            default_max_bytes=arguments.max_bytes)
+        host, port = await server.start()
+        server.install_signal_handlers()
+        print(f"serving on {host}:{port}", file=out, flush=True)
+        await server.serve_until_drained()
+        print("drained", file=out, flush=True)
+
+    with contextlib.ExitStack() as lifecycle:
+        if arguments.metrics:
+            from .obs.metrics import enabled_metrics
+            lifecycle.enter_context(enabled_metrics())
+        if arguments.data:
+            from .durability import DurableDatabase
+            database = lifecycle.enter_context(
+                DurableDatabase(
+                    arguments.data, fsync_policy=arguments.fsync,
+                    buffer_pool_bytes=arguments.buffer_pool_bytes))
+        else:
+            database = Database(
+                buffer_pool_bytes=arguments.buffer_pool_bytes)
+            if arguments.fixture:
+                load_paper_fixture(database)
+        asyncio.run(_serve(database))
+    return 0
+
+
 def main(argv: list[str] | None = None, out=sys.stdout) -> int:
     arguments = build_parser().parse_args(argv)
     if arguments.command == "demo":
@@ -281,6 +365,8 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
         return run_checkpoint(arguments, out)
     if arguments.command == "recover":
         return run_recover(arguments, out)
+    if arguments.command == "serve":
+        return run_serve(arguments, out)
     if arguments.command.startswith("q") and \
             arguments.command[1:].isdigit():
         return run_paper_query_command(int(arguments.command[1:]),

@@ -28,8 +28,8 @@ from ..obs.metrics import METRICS
 from ..xquery import ast
 from ..xquery.parser import parse_xquery
 
-__all__ = ["CompiledQuery", "compile_query", "cache_info", "clear_cache",
-           "reinit_after_fork"]
+__all__ = ["CompiledQuery", "compile_query", "pin_query", "unpin_query",
+           "cache_info", "clear_cache", "reinit_after_fork"]
 
 
 @dataclass(frozen=True)
@@ -48,11 +48,19 @@ class CacheInfo:
     misses: int
     size: int
     maxsize: int
+    #: Entries held by prepared-statement handles — exempt from LRU
+    #: eviction until every holder releases them.
+    pinned: int = 0
 
 
 _MAXSIZE = 256
 _lock = threading.Lock()
 _cache: "OrderedDict[str, CompiledQuery]" = OrderedDict()
+#: source -> pin refcount.  Pinned entries are skipped by eviction, so
+#: a prepared-statement handle's plan survives arbitrary cache churn;
+#: the cache may temporarily exceed _MAXSIZE when everything is pinned
+#: (honest: the handles hold the memory either way).
+_pins: dict[str, int] = {}
 _hits = 0
 _misses = 0
 
@@ -90,21 +98,54 @@ def compile_query(source: str) -> CompiledQuery:
             return racing
         _cache[source] = entry
         if len(_cache) > _MAXSIZE:
-            _cache.popitem(last=False)
-            if METRICS.enabled:
-                METRICS.inc("querycache.evictions")
+            for key in _cache:
+                if key not in _pins:
+                    del _cache[key]
+                    if METRICS.enabled:
+                        METRICS.inc("querycache.evictions")
+                    break
     return entry
+
+
+def pin_query(source: str) -> CompiledQuery:
+    """Compile ``source`` and pin its cache entry against eviction.
+
+    Prepared-statement handles call this once per ``PREPARE``; pins are
+    reference-counted, so concurrent sessions preparing the same text
+    share one entry.  Pair every call with :func:`unpin_query`.
+    """
+    with _lock:
+        _pins[source] = _pins.get(source, 0) + 1
+    try:
+        return compile_query(source)
+    except BaseException:
+        unpin_query(source)
+        raise
+
+
+def unpin_query(source: str) -> None:
+    """Release one pin on ``source`` (no-op when never pinned)."""
+    with _lock:
+        count = _pins.get(source)
+        if count is None:
+            return
+        if count <= 1:
+            del _pins[source]
+        else:
+            _pins[source] = count - 1
 
 
 def cache_info() -> CacheInfo:
     with _lock:
-        return CacheInfo(_hits, _misses, len(_cache), _MAXSIZE)
+        return CacheInfo(_hits, _misses, len(_cache), _MAXSIZE,
+                         len(_pins))
 
 
 def clear_cache() -> None:
     global _hits, _misses
     with _lock:
         _cache.clear()
+        _pins.clear()
         _hits = 0
         _misses = 0
 
@@ -121,5 +162,6 @@ def reinit_after_fork() -> None:
     global _lock, _hits, _misses
     _lock = threading.Lock()
     _cache.clear()
+    _pins.clear()
     _hits = 0
     _misses = 0

@@ -57,13 +57,21 @@ class DurableDatabase(Database):
         # With a byte budget the pool spills evicted documents' columns
         # under the data directory ("spool/"); the files are pure cache
         # (checkpoint + WAL stay authoritative), so recovery ignores
-        # them and they are simply overwritten as documents churn.
+        # them.  The pool deletes a file when its document is discarded
+        # and close() clears the rest; open purges whatever a crash
+        # left behind.
         super().__init__(index_order=index_order,
                          buffer_pool_bytes=buffer_pool_bytes,
                          buffer_pool_spill_dir=pathlib.Path(directory)
                          / "spool")
         self.directory = pathlib.Path(directory)
         fsio.ensure_dir(self.directory)
+        # Purge spill files left by a previous process life (crash, or
+        # a close that never got to run): doc_ids restart at 1 in every
+        # process, so a stale doc-<id>.cols could alias a document this
+        # incarnation is about to spill.  They are pure cache; deleting
+        # them costs only a re-materialization.
+        self._purge_spool()
         self._faults = faults
         #: Schemas used for per-document validation without being
         #: registered in the catalog — checkpoints must persist them so
@@ -210,6 +218,17 @@ class DurableDatabase(Database):
     def close(self) -> None:
         with self._rwlock.write():
             self._wal.close()
+        self.buffer_pool.close()
+
+    def _purge_spool(self) -> None:
+        spool = self.directory / "spool"
+        if not spool.is_dir():
+            return
+        for path in spool.glob("doc-*.cols"):
+            try:
+                fsio.remove(path)
+            except FileNotFoundError:
+                pass
 
     def __enter__(self) -> "DurableDatabase":
         return self

@@ -106,6 +106,51 @@ class DurabilityError(ReproError):
     """Corrupt or inconsistent WAL / checkpoint state on disk."""
 
 
+class QueryTimeoutError(ReproError):
+    """A statement overran its deadline (SQLSTATE 57014, the
+    query-cancelled class) and was aborted mid-evaluation by its
+    :class:`repro.xquery.guard.QueryGuard`."""
+
+    def __init__(self, message: str):
+        self.sqlstate = "57014"
+        super().__init__(f"[SQLSTATE 57014] {message}")
+
+
+class QueryLimitError(ReproError):
+    """A statement exceeded a configured result budget — row count or
+    serialized bytes (SQLSTATE 54000, program limit exceeded)."""
+
+    def __init__(self, message: str):
+        self.sqlstate = "54000"
+        super().__init__(f"[SQLSTATE 54000] {message}")
+
+
+class ServerError(ReproError):
+    """Base class for the network front door's typed failures; carries
+    an SQLSTATE-style class code like :class:`SQLError`."""
+
+    sqlstate = "58000"
+
+    def __init__(self, message: str, sqlstate: str | None = None):
+        if sqlstate is not None:
+            self.sqlstate = sqlstate
+        super().__init__(f"[SQLSTATE {self.sqlstate}] {message}")
+
+
+class AdmissionError(ServerError):
+    """The bounded admission queue is full: the statement was shed
+    instead of queued (SQLSTATE 53300, too many connections)."""
+
+    sqlstate = "53300"
+
+
+class ProtocolError(ServerError):
+    """A malformed, torn, or oversized protocol frame (SQLSTATE 08P01,
+    protocol violation)."""
+
+    sqlstate = "08P01"
+
+
 class ReplicationError(ReproError):
     """A read replica or the process pool serving it misbehaved."""
 

@@ -59,6 +59,21 @@ of the trace/EXPLAIN ANALYZE contract documented in EXPERIMENTS.md):
 ``recovery.records_replayed``     WAL records re-applied past checkpoint
 ``recovery.records_skipped``      stale records below the checkpoint LSN
 ``recovery.seconds`` (histogram)  end-to-end recovery wall time
+``server.connections``            TCP connections accepted by ``serve``
+``server.sessions``               (gauge) sessions currently open
+``server.queries``                statements dispatched by the server
+``server.admitted``               statements that won an execution slot
+``server.shed``                   statements rejected by admission
+                                  control (queue full, SQLSTATE 53300)
+``server.queue_depth``            (gauge) statements waiting for a slot
+``server.client_disconnects``     clients that vanished mid-query (the
+                                  running statement is cancelled)
+``server.query_seconds``          (histogram) per-statement wall time
+                                  as the server observed it
+``parallel.workers_demoted``      pool workers forcibly reaped (hung,
+                                  EOF, or send failure)
+``bufferpool.spill_deletes``      spool files deleted when their
+                                  document was discarded
 ================================  =========================================
 
 All mutation goes through one :class:`threading.Lock`; the compiled

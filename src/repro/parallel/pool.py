@@ -234,18 +234,18 @@ class ProcessPool:
         if not worker.alive:
             return
         if not worker.conn.poll(self._response_timeout):
-            worker.alive = False
+            self._demote(worker, "init-timeout")
             return
         try:
             message = worker.conn.recv()
         except (EOFError, OSError):
-            worker.alive = False
+            self._demote(worker, "init-eof")
             return
         if message[0] == "ready":
             worker.applied_lsn = message[1]
             worker.pid = message[2]
         else:
-            worker.alive = False
+            self._demote(worker, "init-protocol")
 
     def close(self) -> None:
         """Graceful shutdown: unsubscribe, signal, join, reap.
@@ -270,8 +270,14 @@ class ProcessPool:
             if worker.process.is_alive():
                 worker.process.terminate()
                 worker.process.join(timeout=5.0)
+            if worker.process.is_alive():
+                # terminate() is SIGTERM, which stays *pending* on a
+                # stopped (SIGSTOPped) process; SIGKILL does not.
+                worker.process.kill()
+                worker.process.join(timeout=5.0)
             worker.alive = False
-            worker.conn.close()
+            if not worker.conn.closed:
+                worker.conn.close()
 
     def __enter__(self) -> "ProcessPool":
         return self
@@ -559,7 +565,37 @@ class ProcessPool:
         try:
             worker.conn.send(message)
         except (OSError, ValueError):
-            worker.alive = False
+            self._demote(worker, "send-failed")
+
+    def _demote(self, worker: _Worker, reason: str) -> None:
+        """Retire a failed worker *completely*: terminate and join its
+        process and close our pipe end.
+
+        Flagging ``alive = False`` alone leaks the process (a hung
+        replica keeps its core, its replica memory, and — as a child we
+        never join — eventually a zombie entry) and the pipe fd.  The
+        pool must shrink honestly: after demotion the process is gone,
+        the fd is closed, and ``workers_alive()`` tells the truth.
+        Safe against already-exited processes and double demotion.
+        """
+        already = not worker.alive and worker.conn.closed
+        worker.alive = False
+        process = worker.process
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=2.0)
+        if process.is_alive():
+            # terminate() is SIGTERM, which a *stopped* (SIGSTOPped —
+            # exactly how a worker hangs without burning CPU) process
+            # leaves pending forever; SIGKILL acts regardless.
+            process.kill()
+            process.join(timeout=5.0)
+        else:
+            process.join(timeout=0)  # reap an already-dead child
+        if not worker.conn.closed:
+            worker.conn.close()
+        if not already and METRICS.enabled:
+            METRICS.inc("parallel.workers_demoted")
 
     def _collect(self, requests) -> tuple[dict, _Failure | None]:
         """Await one response per request, in send order per worker.
@@ -601,12 +637,12 @@ class ProcessPool:
         while True:
             remaining = deadline - time.monotonic()
             if remaining <= 0 or not worker.conn.poll(remaining):
-                worker.alive = False
+                self._demote(worker, "response-timeout")
                 return None
             try:
                 message = worker.conn.recv()
             except (EOFError, OSError):
-                worker.alive = False
+                self._demote(worker, "recv-eof")
                 return None
             if message[0] == kind and message[1] == request_id:
                 return message

@@ -456,7 +456,8 @@ def execute_xquery(database, query: str,
                    cost_based: bool = False,
                    prefilter_threshold: float = 0.9,
                    rewrite_views: bool = False,
-                   tracer=None) -> QueryResult:
+                   tracer=None,
+                   variables: dict | None = None) -> QueryResult:
     """Plan and run a standalone XQuery.
 
     ``cost_based=True`` enables the selectivity cost model (see
@@ -473,6 +474,9 @@ def execute_xquery(database, query: str,
     spans — parse, plan, index-probe/index-scan, residual-eval — used
     by ``--trace`` and EXPLAIN ANALYZE.  ``None`` (the default) skips
     all span bookkeeping.
+
+    ``variables`` binds external variables (name → item sequence) in
+    the dynamic context — the server's session variables ride in here.
     """
     started = time.perf_counter() if METRICS.enabled else 0.0
     stats = ExecutionStats()
@@ -567,12 +571,13 @@ def execute_xquery(database, query: str,
         docs_before = stats.docs_scanned
         with tracer.span("residual-eval") as span:
             items = evaluate_module(module, database=runtime_db,
-                                    stats=stats)
+                                    variables=variables, stats=stats)
             span.set(actual_rows=len(items), unit="items",
                      docs_scanned=stats.docs_scanned - docs_before,
                      summary_lookups=stats.summary_lookups)
     else:
-        items = evaluate_module(module, database=runtime_db, stats=stats)
+        items = evaluate_module(module, database=runtime_db,
+                                variables=variables, stats=stats)
     if METRICS.enabled:
         METRICS.inc("queries.xquery")
         METRICS.observe("query.seconds", time.perf_counter() - started)

@@ -1,0 +1,16 @@
+"""The network front door: ``repro serve``.
+
+An asyncio server speaking a small length-prefixed JSON protocol (see
+:mod:`repro.server.protocol`), with per-session state and prepared
+statements (:mod:`repro.server.session`), a bounded admission queue
+(:mod:`repro.server.admission`), per-query deadlines and row/byte
+limits enforced inside the evaluator (:mod:`repro.xquery.guard`), and
+graceful drain on SIGTERM.  :mod:`repro.server.client` is the matching
+blocking client used by tests, the CLI, and benchmarks.
+"""
+
+from .client import ServerClient, render_payload
+from .server import ReproServer, ServerThread
+
+__all__ = ["ReproServer", "ServerThread", "ServerClient",
+           "render_payload"]

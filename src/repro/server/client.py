@@ -1,0 +1,148 @@
+"""Blocking client for the ``repro serve`` protocol.
+
+:class:`ServerClient` is the reference client used by tests, the CLI,
+and benchmarks: one socket, strict request/response, typed errors
+re-raised locally.  :func:`render_payload` turns a successful response
+(or an in-band *engine* error) back into the exact text the in-process
+API produces — ``run_paper_query`` over the wire must be byte-identical
+to ``run_paper_query`` in process, and this function is where that
+identity is enforced.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from .. import errors
+from .protocol import MAX_FRAME_BYTES, read_frame_sync, write_frame_sync
+
+__all__ = ["ServerClient", "render_payload"]
+
+#: Error type -> class, for re-raising server-side failures with the
+#: same type the in-process API would raise.
+_ERROR_TYPES = {
+    name: getattr(errors, name)
+    for name in dir(errors)
+    if isinstance(getattr(errors, name), type)
+    and issubclass(getattr(errors, name), errors.ReproError)
+}
+
+
+def render_payload(payload: dict) -> str:
+    """The canonical text for a statement response.
+
+    Matches :func:`repro.workload.paperqueries.run_paper_query`:
+    SQL -> tab-joined header + rows with ``NULL`` for null cells;
+    XQuery -> newline-joined serialized items; an in-band engine error
+    -> ``error: {Type}: {message}``.
+    """
+    if not payload.get("ok"):
+        error = payload.get("error", {})
+        return f"error: {error.get('type')}: {error.get('message')}"
+    kind = payload.get("kind")
+    if kind == "sql":
+        lines = ["\t".join(payload["columns"])]
+        for row in payload["rows"]:
+            lines.append("\t".join("NULL" if value is None else value
+                                   for value in row))
+        return "\n".join(lines)
+    if kind == "xquery":
+        return "\n".join(payload["items"])
+    return f"ok: {kind}"
+
+
+class ServerClient:
+    """One connection to a :class:`~repro.server.ReproServer`.
+
+    Statement responses are returned as raw payload dicts; *server*
+    errors (shed, timeout, limits, protocol) are re-raised as their
+    original typed exceptions, while *engine* errors stay in-band
+    because they are part of a statement's canonical answer.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0,
+                 max_frame_bytes: int = MAX_FRAME_BYTES):
+        self.max_frame_bytes = max_frame_bytes
+        self.sock = socket.create_connection((host, port),
+                                             timeout=timeout)
+        self.sock_file = self.sock.makefile("rb")
+
+    # -- context manager ----------------------------------------------
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self.sock_file.close()
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    # -- raw request/response -----------------------------------------
+
+    def request(self, payload: dict) -> dict:
+        write_frame_sync(self.sock, payload)
+        response = read_frame_sync(self.sock_file, self.max_frame_bytes)
+        if not response.get("ok") and not response.get("engine"):
+            raise self._as_exception(response)
+        return response
+
+    def _as_exception(self, response: dict) -> errors.ReproError:
+        detail = response.get("error", {})
+        cls = _ERROR_TYPES.get(detail.get("type"), errors.ServerError)
+        message = detail.get("message", "server error")
+        # The server already formatted the SQLSTATE prefix into the
+        # message; re-wrapping would double it.
+        error = errors.ReproError.__new__(cls)
+        Exception.__init__(error, message)
+        error.sqlstate = detail.get("code", "58000")
+        return error
+
+    # -- ops ----------------------------------------------------------
+
+    def hello(self) -> dict:
+        return self.request({"op": "hello"})
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def stats(self) -> str:
+        return self.request({"op": "stats"})["text"]
+
+    def set_prolog(self, text: str) -> None:
+        self.request({"op": "prolog", "text": text})
+
+    def set_variable(self, name: str, value) -> None:
+        self.request({"op": "set", "name": name, "value": value})
+
+    def refresh(self) -> int:
+        return self.request({"op": "refresh"})["version"]
+
+    def prepare(self, statement: str) -> int:
+        return self.request({"op": "prepare",
+                             "statement": statement})["handle"]
+
+    def deallocate(self, handle: int) -> None:
+        self.request({"op": "deallocate", "handle": handle})
+
+    def query(self, statement: str, **options) -> dict:
+        return self.request({"op": "query", "statement": statement,
+                             **options})
+
+    def execute(self, handle: int, **options) -> dict:
+        return self.request({"op": "execute", "handle": handle,
+                             **options})
+
+    def query_text(self, statement: str, **options) -> str:
+        """Run a statement and render its canonical text."""
+        return render_payload(self.query(statement, **options))
+
+    def execute_text(self, handle: int, **options) -> str:
+        return render_payload(self.execute(handle, **options))

@@ -1,0 +1,107 @@
+"""Length-prefixed JSON framing shared by server and client.
+
+A frame is a 4-byte big-endian unsigned length followed by exactly
+that many bytes of UTF-8 JSON encoding one object.  The protocol is
+strict request/response per connection: the client sends one request
+frame and reads one response frame before sending the next, so no
+request ids or interleaving rules are needed.
+
+Requests are ``{"op": ..., ...}`` objects; see
+:data:`repro.server.session.Session` for the op table.  Responses are
+``{"ok": true, ...}`` or ``{"ok": false, "error": {"type", "code",
+"message"}, "engine": bool}`` — ``engine`` marks errors raised *by the
+statement* (an ``err:XPDY0050`` is part of a query's canonical answer)
+as opposed to protocol/admission/limit failures.
+
+Defensive limits: an incoming frame longer than ``max_frame_bytes``
+is rejected with SQLSTATE 08P01 before any allocation of the payload,
+and a frame that ends mid-way (a torn write or a vanished client) is
+surfaced as :class:`ConnectionError` so the serve loop just drops the
+connection.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+from ..errors import ProtocolError
+
+__all__ = ["HEADER", "MAX_FRAME_BYTES", "encode_frame", "decode_payload",
+           "check_frame_length", "read_frame_async", "read_frame_sync",
+           "write_frame_sync"]
+
+#: 4-byte big-endian unsigned frame length.
+HEADER = struct.Struct(">I")
+
+#: Default cap on a single frame (requests and responses alike).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+def encode_frame(payload: dict) -> bytes:
+    """One wire frame for ``payload``: header + compact JSON."""
+    body = json.dumps(payload, separators=(",", ":"),
+                      ensure_ascii=False).encode("utf-8")
+    return HEADER.pack(len(body)) + body
+
+
+def decode_payload(body: bytes) -> dict:
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"malformed frame payload: {error}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    return payload
+
+
+def check_frame_length(length: int,
+                       max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+    if length > max_frame_bytes:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the limit of "
+            f"{max_frame_bytes}")
+
+
+async def read_frame_async(reader,
+                           max_frame_bytes: int = MAX_FRAME_BYTES
+                           ) -> dict | None:
+    """Read one frame from an asyncio StreamReader.
+
+    Returns ``None`` on clean EOF at a frame boundary.  A torn frame
+    (EOF mid-header or mid-body) raises :class:`ConnectionError`; an
+    oversized declared length raises :class:`ProtocolError` *before*
+    the body is read, so a hostile length cannot balloon memory.
+    """
+    import asyncio
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ConnectionError("torn frame header") from None
+    (length,) = HEADER.unpack(header)
+    check_frame_length(length, max_frame_bytes)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ConnectionError("torn frame body") from None
+    return decode_payload(body)
+
+
+def read_frame_sync(sock_file,
+                    max_frame_bytes: int = MAX_FRAME_BYTES) -> dict:
+    """Read one frame from a blocking binary file (client side)."""
+    header = sock_file.read(HEADER.size)
+    if len(header) < HEADER.size:
+        raise ConnectionError("connection closed mid-frame")
+    (length,) = HEADER.unpack(header)
+    check_frame_length(length, max_frame_bytes)
+    body = sock_file.read(length)
+    if len(body) < length:
+        raise ConnectionError("connection closed mid-frame")
+    return decode_payload(body)
+
+
+def write_frame_sync(sock, payload: dict) -> None:
+    sock.sendall(encode_frame(payload))

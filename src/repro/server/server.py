@@ -1,0 +1,438 @@
+"""The asyncio serve loop: sessions, admission, deadlines, drain.
+
+Architecture: the event loop owns all connection and session state;
+engine execution (parse/plan/evaluate) happens on a small thread pool
+sized to the admission controller's ``max_active``, so at most that
+many statements occupy interpreter threads at once.  The sequence for
+one statement is::
+
+    read frame -> admission.acquire() (shed: 53300, never waits when
+    full) -> build QueryGuard from per-request limits and server
+    defaults -> run_in_executor(session.run_*) -> admission.release()
+    -> write response frame
+
+Reads execute on the session's pinned snapshot under the database's
+*shared* read lock; writes go through the database's own entry points
+(exclusive write lock + WAL when durable).  Client disconnect during a
+statement is detected by a 1-byte EOF watcher and converted into
+:meth:`QueryGuard.cancel`, so an abandoned query stops burning the
+engine at its next tick instead of running to completion.
+
+Graceful drain (SIGTERM or :meth:`ReproServer.drain`): stop accepting
+connections, answer new statements with SQLSTATE 57P01, wait for every
+admitted statement to finish, flush the WAL (``database.sync()``), and
+close remaining connections.  In-flight work is *finished*, never
+killed — the drain deadline is the operator's problem (process
+supervisor), not ours.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+from ..errors import ReproError, ServerError
+from ..obs.metrics import METRICS
+from ..xquery.guard import QueryGuard
+from .admission import AdmissionQueue
+from .protocol import MAX_FRAME_BYTES, encode_frame, read_frame_async
+from .session import Session
+
+__all__ = ["ReproServer", "ServerThread"]
+
+#: Errors in this family describe the *server's* handling of a request
+#: (shed, timeout, limit, malformed frame) — the client raises them.
+#: Anything else raised while a statement runs is an *engine* error and
+#: part of the statement's canonical answer (e.g. Query 25's XPDY0050).
+_SERVER_SIDE = ("53300", "57014", "54000", "08P01", "57P01", "58000")
+
+
+def _error_payload(error: ReproError, engine: bool) -> dict:
+    return {"ok": False,
+            "error": {"type": type(error).__name__,
+                      "code": getattr(error, "sqlstate", "58000"),
+                      "message": str(error)},
+            "engine": engine}
+
+
+class ReproServer:
+    """One database behind one listening socket."""
+
+    def __init__(self, database, host: str = "127.0.0.1", port: int = 0,
+                 max_active: int = 4, max_queue: int = 16,
+                 max_frame_bytes: int = MAX_FRAME_BYTES,
+                 default_timeout: float | None = None,
+                 default_max_rows: int | None = None,
+                 default_max_bytes: int | None = None):
+        self.database = database
+        self.host = host
+        self.port = port
+        self.max_frame_bytes = max_frame_bytes
+        self.default_timeout = default_timeout
+        self.default_max_rows = default_max_rows
+        self.default_max_bytes = default_max_bytes
+        self.admission = AdmissionQueue(max_active=max_active,
+                                        max_queue=max_queue)
+        self.sessions: dict[int, Session] = {}
+        self._next_session = 1
+        self._server: asyncio.base_events.Server | None = None
+        self._executor = None
+        self._draining = False
+        self._drained = asyncio.Event()
+        #: Requests read off a socket whose response is not yet
+        #: written.  Admission tracks *engine* occupancy; this tracks
+        #: the wire, so drain cannot declare victory between an
+        #: engine completion and its response frame hitting the pipe.
+        self._inflight = 0
+        self._quiescent = asyncio.Event()
+        self._quiescent.set()
+        self._conn_writers: set[asyncio.StreamWriter] = set()
+        #: Always-on counters surfaced by the ``stats`` op.
+        self.stats = {"connections": 0, "queries": 0, "errors": 0,
+                      "disconnects_mid_query": 0}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        from concurrent.futures import ThreadPoolExecutor
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.admission.max_active,
+            thread_name_prefix="repro-engine")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        return self.host, self.port
+
+    async def serve_until_drained(self) -> None:
+        """Run until :meth:`drain` completes (the CLI's main loop)."""
+        assert self._server is not None
+        async with self._server:
+            await self._drained.wait()
+
+    async def drain(self) -> None:
+        """Stop accepting, finish in-flight statements, flush the WAL."""
+        if self._draining:
+            await self._drained.wait()
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        await self.admission.drained()
+        await self._quiescent.wait()
+        # Flush durable state while the engine is quiet: a drained
+        # server that gets SIGKILLed a moment later must lose nothing.
+        sync = getattr(self.database, "sync", None)
+        if sync is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                self._executor, sync)
+        for session in list(self.sessions.values()):
+            session.close()
+        self.sessions.clear()
+        for writer in list(self._conn_writers):
+            writer.close()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        self._drained.set()
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT trigger a graceful drain (CLI entry point)."""
+        import signal
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(
+                signum, lambda: asyncio.ensure_future(self.drain()))
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        session_id = self._next_session
+        self._next_session += 1
+        session = Session(session_id, self.database)
+        self.sessions[session_id] = session
+        self._conn_writers.add(writer)
+        self.stats["connections"] += 1
+        if METRICS.enabled:
+            METRICS.inc("server.connections")
+            METRICS.set_gauge("server.sessions", len(self.sessions))
+        try:
+            while True:
+                try:
+                    request = await read_frame_async(
+                        reader, self.max_frame_bytes)
+                except ConnectionError:
+                    break
+                except ReproError as error:
+                    # Oversized/malformed frame: answer, then drop the
+                    # connection — framing state is unrecoverable.
+                    await self._write(writer,
+                                      _error_payload(error, False))
+                    break
+                if request is None:  # clean EOF
+                    break
+                if not await self._respond(session, request, reader,
+                                           writer):
+                    break
+        finally:
+            self._conn_writers.discard(writer)
+            self.sessions.pop(session_id, None)
+            session.close()
+            if METRICS.enabled:
+                METRICS.set_gauge("server.sessions", len(self.sessions))
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _respond(self, session: Session, request: dict,
+                       reader: asyncio.StreamReader,
+                       writer: asyncio.StreamWriter) -> bool:
+        """Dispatch one request and write its response; False means
+        the connection is finished.  Counted as in-flight from frame
+        receipt to response write so drain waits for the *wire*, not
+        just the engine."""
+        self._inflight += 1
+        self._quiescent.clear()
+        try:
+            try:
+                response = await self._dispatch(session, request,
+                                                reader)
+            except _ClientGone:
+                return False
+            except ReproError as error:
+                self.stats["errors"] += 1
+                response = _error_payload(error, False)
+            if response is None:  # explicit close op
+                return False
+            try:
+                await self._write(writer, response)
+            except ConnectionError:
+                return False
+            return True
+        finally:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._quiescent.set()
+
+    async def _write(self, writer: asyncio.StreamWriter,
+                     payload: dict) -> None:
+        try:
+            writer.write(encode_frame(payload))
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            raise ConnectionError("client went away") from None
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+
+    async def _dispatch(self, session: Session, request: dict,
+                        reader: asyncio.StreamReader) -> dict | None:
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "hello":
+            return {"ok": True, "session": session.session_id,
+                    "server": "repro", "max_frame_bytes":
+                        self.max_frame_bytes}
+        if op == "close":
+            return None
+        if op == "stats":
+            return {"ok": True, "text": self.render_stats()}
+        if op == "prolog":
+            session.set_prolog(request.get("text", ""))
+            return {"ok": True}
+        if op == "set":
+            session.set_variable(request.get("name"),
+                                 request.get("value"))
+            return {"ok": True}
+        if op == "refresh":
+            return {"ok": True, "version": session.refresh()}
+        if op == "prepare":
+            if self._draining:
+                raise ServerError("server is shutting down", "57P01")
+            prepared = session.prepare(request.get("statement"))
+            return {"ok": True, "handle": prepared.handle,
+                    "kind": prepared.kind}
+        if op == "deallocate":
+            session.deallocate(request.get("handle"))
+            return {"ok": True}
+        if op in ("query", "execute"):
+            return await self._run_statement(session, request, reader)
+        raise ServerError(f"unknown op {op!r}", "08P01")
+
+    async def _run_statement(self, session: Session, request: dict,
+                             reader: asyncio.StreamReader) -> dict:
+        if self._draining:
+            raise ServerError("server is shutting down", "57P01")
+        await self.admission.acquire()
+        started = time.monotonic()
+        try:
+            guard = self._build_guard(request)
+            loop = asyncio.get_running_loop()
+            if request["op"] == "query":
+                work = loop.run_in_executor(
+                    self._executor, session.run_statement,
+                    request.get("statement"), guard,
+                    request.get("use_indexes", True),
+                    request.get("variables"))
+            else:
+                work = loop.run_in_executor(
+                    self._executor, session.run_prepared,
+                    request.get("handle"), guard,
+                    request.get("use_indexes", True),
+                    request.get("variables"))
+            self.stats["queries"] += 1
+            if METRICS.enabled:
+                METRICS.inc("server.queries")
+            return await self._await_with_eof_watch(work, guard, reader)
+        finally:
+            if METRICS.enabled:
+                METRICS.observe("server.query_seconds",
+                                time.monotonic() - started)
+            self.admission.release()
+
+    async def _await_with_eof_watch(self, work: "asyncio.Future",
+                                    guard: QueryGuard,
+                                    reader: asyncio.StreamReader) -> dict:
+        """Await the engine, watching for client EOF to cancel.
+
+        The protocol is strict request/response, so no client bytes are
+        legal while a statement runs; a single-byte read therefore only
+        completes on EOF (disconnect) or protocol abuse — both mean the
+        statement's result has no recipient.
+        """
+        watch = asyncio.ensure_future(reader.read(1))
+        try:
+            done, _ = await asyncio.wait(
+                {work, watch}, return_when=asyncio.FIRST_COMPLETED)
+            if watch in done and not work.done():
+                # Client vanished (or broke protocol) mid-statement:
+                # trip the guard, let the engine unwind at its next
+                # tick, then drop the connection.
+                guard.cancel()
+                self.stats["disconnects_mid_query"] += 1
+                if METRICS.enabled:
+                    METRICS.inc("server.client_disconnects")
+                try:
+                    await work
+                except ReproError:
+                    pass
+                raise _ClientGone()
+            try:
+                return await work
+            except ReproError as error:
+                engine = getattr(error, "sqlstate",
+                                 None) not in _SERVER_SIDE
+                if not engine:
+                    self.stats["errors"] += 1
+                return _error_payload(error, engine)
+        finally:
+            if not watch.done():
+                # Cancellation must *complete* before the serve loop
+                # issues its next read, or the stream still counts the
+                # watcher as a waiter.
+                watch.cancel()
+                try:
+                    await watch
+                except (asyncio.CancelledError, ConnectionError):
+                    pass
+
+    def _build_guard(self, request: dict) -> QueryGuard:
+        def limit(key, default):
+            value = request.get(key, default)
+            if value is not None and (not isinstance(value, (int, float))
+                                      or value <= 0):
+                raise ServerError(f"invalid {key}: {value!r}", "08P01")
+            return value
+
+        return QueryGuard(
+            timeout_seconds=limit("timeout", self.default_timeout),
+            max_rows=limit("max_rows", self.default_max_rows),
+            max_bytes=limit("max_bytes", self.default_max_bytes))
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+
+    def render_stats(self) -> str:
+        """Plaintext ``name value`` lines: always-on server counters,
+        plus the process-wide METRICS registry when enabled."""
+        lines = [
+            f"server.sessions {len(self.sessions)}",
+            f"server.connections {self.stats['connections']}",
+            f"server.queries {self.stats['queries']}",
+            f"server.errors {self.stats['errors']}",
+            f"server.disconnects_mid_query "
+            f"{self.stats['disconnects_mid_query']}",
+            f"server.admitted {self.admission.admitted_count}",
+            f"server.shed {self.admission.shed_count}",
+            f"server.active {self.admission.active}",
+            f"server.queue_depth {self.admission.queue_depth}",
+            f"server.draining {int(self._draining)}",
+        ]
+        if METRICS.enabled:
+            rendered = METRICS.render()
+            if rendered:
+                lines.append(rendered)
+        return "\n".join(lines)
+
+
+class _ClientGone(Exception):
+    """Internal: the client disconnected while its statement ran."""
+
+
+class ServerThread:
+    """Run a :class:`ReproServer` on a background thread (tests, CLI
+    benchmarks).  ``with ServerThread(db) as (host, port): ...``"""
+
+    def __init__(self, database, **kwargs):
+        self.server = ReproServer(database, **kwargs)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self.address: tuple[str, int] | None = None
+
+    def __enter__(self) -> tuple[str, int]:
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-server")
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise RuntimeError("server thread failed to start")
+        assert self.address is not None
+        return self.address
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def stop(self) -> None:
+        if self._loop is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(self.server.drain(),
+                                                  self._loop)
+        future.result(timeout=60)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=60)
+        self._loop = None
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            self.address = loop.run_until_complete(self.server.start())
+            self._started.set()
+            loop.run_forever()
+        finally:
+            self._started.set()  # unblock __enter__ on startup failure
+            try:
+                loop.close()
+            finally:
+                asyncio.set_event_loop(None)

@@ -27,8 +27,12 @@ un-pooled engine's performance exactly.
 
 Observability (``bufferpool.*`` in :mod:`repro.obs.metrics`):
 ``hits`` (accesses finding a live tree), ``misses`` (accesses that had
-to re-materialize), ``evictions``, ``spills`` / ``loads`` (tier-2
-writes / reads), and the ``resident_bytes`` gauge.
+to re-materialize), ``evictions``, ``spills`` / ``loads`` /
+``spill_deletes`` (tier-2 writes / reads / removals), and the
+``resident_bytes`` gauge.  Spill files are deleted when their document
+is discarded (row deleted, table dropped) and when the pool is closed
+— an orphaned spill file both leaks disk and, because doc_ids restart
+with every process, could alias a future document.
 """
 
 from __future__ import annotations
@@ -59,6 +63,13 @@ class BufferPool:
         #: doc_id -> StoredDocument, least-recently used first.
         self._lru: "OrderedDict[int, object]" = OrderedDict()
         self._charged: dict[int, int] = {}
+        #: doc_ids with a spill file on disk.  Spill files are pure
+        #: cache, but they must be *deleted* when their document leaves
+        #: the pool: doc_ids are process-local counters, so an orphan
+        #: from a dead document can collide with a future document's id
+        #: and be read back as its (stale) columns — besides leaking
+        #: disk for every deleted row.
+        self._spilled: set[int] = set()
         self.resident_bytes = 0
         self._spill_ready = False
 
@@ -85,13 +96,27 @@ class BufferPool:
             self._publish_gauge()
 
     def discard(self, stored) -> None:
-        """Forget a deleted document (its rows left the table)."""
+        """Forget a deleted document (its rows left the table): drop
+        its pool entry *and* its spill file, if one was written."""
         if not self.enabled:
             return
         with self._lock:
             self._lru.pop(stored.doc_id, None)
             self.resident_bytes -= self._charged.pop(stored.doc_id, 0)
+            self._remove_spill(stored.doc_id)
             self._publish_gauge()
+
+    def close(self) -> None:
+        """Discard the pool's on-disk cache: every spill file this
+        pool wrote is removed.  The database owning the pool calls
+        this on shutdown; spill files never outlive their pool
+        (doc_ids restart per process, so a survivor could alias a
+        future document)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            for doc_id in list(self._spilled):
+                self._remove_spill(doc_id)
 
     def touch(self, stored) -> None:
         """An access found the materialized tree live: LRU bump + hit."""
@@ -208,8 +233,22 @@ class BufferPool:
         payload = json.dumps(store.to_payload(),
                              separators=(",", ":")).encode("utf-8")
         fsio.write_bytes(self._spill_path(doc_id), payload)
+        self._spilled.add(doc_id)
         if METRICS.enabled:
             METRICS.inc("bufferpool.spills")
+
+    def _remove_spill(self, doc_id: int) -> None:
+        """Delete one spill file (lock held; no-op when never spilled)."""
+        if doc_id not in self._spilled:
+            return
+        import os
+        self._spilled.discard(doc_id)
+        try:
+            os.remove(self._spill_path(doc_id))
+        except FileNotFoundError:
+            pass
+        if METRICS.enabled:
+            METRICS.inc("bufferpool.spill_deletes")
 
     def _read_spill(self, doc_id: int) -> ColumnStore:
         from ..durability import fsio

@@ -110,6 +110,12 @@ class Database(ReadView):
             tables = dict(self.tables)
             del tables[table.name]
             self.tables = tables
+            # The rows leave with the table, so their documents leave
+            # the buffer pool — and their spill files leave the disk.
+            for row in table.rows:
+                for value in row.values.values():
+                    if isinstance(value, StoredDocument):
+                        self.buffer_pool.discard(value)
             self.version += 1
 
     def register_schema(self, schema: Schema) -> None:
@@ -364,7 +370,7 @@ class Database(ReadView):
                cost_based: bool = False,
                prefilter_threshold: float = 0.9,
                rewrite_views: bool = False,
-               tracer=None):
+               tracer=None, variables: dict | None = None):
         """Run a standalone XQuery; returns a planner QueryResult.
 
         ``cost_based=True`` turns on selectivity-based probe pruning
@@ -380,7 +386,8 @@ class Database(ReadView):
             return super().xquery(
                 query, use_indexes=use_indexes, cost_based=cost_based,
                 prefilter_threshold=prefilter_threshold,
-                rewrite_views=rewrite_views, tracer=tracer)
+                rewrite_views=rewrite_views, tracer=tracer,
+                variables=variables)
 
     def xquery_parallel(self, query: str, max_workers: int = 4,
                         use_indexes: bool = True, tracer=None):

@@ -128,13 +128,13 @@ class ReadView:
                cost_based: bool = False,
                prefilter_threshold: float = 0.9,
                rewrite_views: bool = False,
-               tracer=None):
+               tracer=None, variables: dict | None = None):
         from ..planner.plan import execute_xquery
         return execute_xquery(self, query, use_indexes=use_indexes,
                               cost_based=cost_based,
                               prefilter_threshold=prefilter_threshold,
                               rewrite_views=rewrite_views,
-                              tracer=tracer)
+                              tracer=tracer, variables=variables)
 
     def sql(self, statement: str, use_indexes: bool = True, tracer=None):
         from ..sql.executor import execute_sql

@@ -29,6 +29,7 @@ from ..xdm.sequence import (Item, atomize, document_order,
 from . import ast
 from .context import DynamicContext
 from .functions import lookup_function
+from .guard import active_guard
 
 __all__ = ["evaluate", "evaluate_module", "Evaluator"]
 
@@ -322,6 +323,12 @@ class Evaluator:
     # -- FLWOR ---------------------------------------------------------------
 
     def _eval_FLWORExpr(self, expr: ast.FLWORExpr, ctx) -> list[Item]:
+        # The tuple stream is where runaway queries burn their time, so
+        # the per-query guard (deadlines, row budgets — see
+        # :mod:`repro.xquery.guard`) is consulted here: every for-clause
+        # binding ticks the deadline, and the materialized return
+        # sequence is checked against the row limit as it grows.
+        guard = active_guard()
         contexts = [ctx]
         order_by: ast.OrderByClause | None = None
         for clause in expr.clauses:
@@ -329,6 +336,8 @@ class Evaluator:
                 next_contexts = []
                 for tuple_ctx in contexts:
                     items = self.evaluate(clause.expr, tuple_ctx)
+                    if guard is not None:
+                        guard.tick(len(items) + 1)
                     for position, item in enumerate(items, start=1):
                         bound = tuple_ctx.bind(clause.var, [item])
                         if clause.position_var:
@@ -351,6 +360,9 @@ class Evaluator:
         result: list[Item] = []
         for tuple_ctx in contexts:
             result.extend(self.evaluate(expr.return_expr, tuple_ctx))
+            if guard is not None:
+                guard.tick()
+                guard.check_items(len(result))
         return result
 
     def _order_tuples(self, clause: ast.OrderByClause,
@@ -466,6 +478,11 @@ class Evaluator:
 
     def _apply_axis_step(self, step: ast.AxisStep, items: list[Item],
                          ctx) -> list[Item]:
+        guard = active_guard()
+        if guard is not None:
+            # Axis scans over wide context sequences are the other
+            # place a deadline must be able to interrupt.
+            guard.tick(len(items) + 1)
         single = len(items) == 1
         axis = step.axis
         test = step.test

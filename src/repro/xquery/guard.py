@@ -1,0 +1,125 @@
+"""Per-query execution guards: deadlines and result budgets.
+
+The network front door (:mod:`repro.server`) promises that a query can
+never hold a session hostage: every statement may carry a deadline and
+row/byte result limits, and those must abort the statement *while it
+runs*, not after the evaluator has materialized an unbounded result.
+
+A :class:`QueryGuard` is installed in a :mod:`contextvars` context
+variable around statement execution and consulted from the evaluator's
+two hot loops — FLWOR tuple production and axis-step application — so
+a runaway query trips inside the loop that is burning the time.  The
+un-guarded path pays one ``ContextVar.get`` returning ``None`` per
+loop, nothing else.
+
+Semantics:
+
+* **Deadline** (:meth:`QueryGuard.tick`): wall-clock checks are
+  throttled to one ``time.monotonic()`` call per
+  :data:`~QueryGuard.CHECK_EVERY` units of work; overrunning raises
+  :class:`~repro.errors.QueryTimeoutError` (SQLSTATE 57014).
+  :meth:`QueryGuard.cancel` trips the same error at the next tick —
+  the server uses it when a client disconnects mid-query.
+* **Row limit** (:meth:`QueryGuard.check_items`): a stateless cap on
+  the length of any sequence materialized by a FLWOR return clause
+  (and on the final result, which the server checks again).  This is
+  deliberately a *work* cap: an intermediate sequence larger than the
+  limit aborts early with :class:`~repro.errors.QueryLimitError`
+  (SQLSTATE 54000) rather than being filtered down later.
+* **Byte limit** (:meth:`QueryGuard.charge_bytes`): charged during
+  result serialization by the server loop; same 54000 error.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+from ..errors import QueryLimitError, QueryTimeoutError
+
+__all__ = ["QueryGuard", "active_guard", "guarded"]
+
+_ACTIVE: ContextVar["QueryGuard | None"] = ContextVar(
+    "repro_query_guard", default=None)
+
+
+def active_guard() -> "QueryGuard | None":
+    """The guard governing the current execution context, if any."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def guarded(guard: "QueryGuard | None"):
+    """Install ``guard`` for the duration of a block (None is a no-op,
+    so call sites need no conditional)."""
+    if guard is None:
+        yield None
+        return
+    token = _ACTIVE.set(guard)
+    try:
+        yield guard
+    finally:
+        _ACTIVE.reset(token)
+
+
+class QueryGuard:
+    """Deadline + result budgets for one statement execution."""
+
+    #: Work units between wall-clock reads — cheap enough that a hung
+    #: axis scan still notices its deadline within microseconds, rare
+    #: enough that the clock never shows up in profiles.
+    CHECK_EVERY = 256
+
+    __slots__ = ("deadline", "max_rows", "max_bytes", "bytes_charged",
+                 "_ops", "cancelled")
+
+    def __init__(self, timeout_seconds: float | None = None,
+                 max_rows: int | None = None,
+                 max_bytes: int | None = None):
+        self.deadline = (time.monotonic() + timeout_seconds
+                         if timeout_seconds is not None else None)
+        self.max_rows = max_rows
+        self.max_bytes = max_bytes
+        self.bytes_charged = 0
+        self._ops = 0
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Trip the guard from another thread: the running statement
+        aborts with a 57014 at its next tick.  Setting one boolean is
+        atomic under the GIL, so no lock is needed."""
+        self.cancelled = True
+
+    # -- deadline ------------------------------------------------------
+
+    def tick(self, work: int = 1) -> None:
+        """Account ``work`` units; check the clock every CHECK_EVERY."""
+        self._ops += work
+        if self._ops >= self.CHECK_EVERY:
+            self._ops = 0
+            self.check_deadline()
+
+    def check_deadline(self) -> None:
+        if self.cancelled:
+            raise QueryTimeoutError("statement cancelled")
+        if self.deadline is not None and \
+                time.monotonic() > self.deadline:
+            raise QueryTimeoutError("statement deadline exceeded")
+
+    # -- result budgets ------------------------------------------------
+
+    def check_items(self, count: int) -> None:
+        """Fail if a materialized sequence exceeds the row budget."""
+        if self.max_rows is not None and count > self.max_rows:
+            raise QueryLimitError(
+                f"result exceeds the row limit of {self.max_rows}")
+
+    def charge_bytes(self, count: int) -> None:
+        """Accumulate serialized output size against the byte budget."""
+        if self.max_bytes is None:
+            return
+        self.bytes_charged += count
+        if self.bytes_charged > self.max_bytes:
+            raise QueryLimitError(
+                f"result exceeds the byte limit of {self.max_bytes}")

@@ -72,11 +72,52 @@ class TestSpillingDurableDatabase:
                            for number in PAPER_QUERIES}
                 spills = METRICS.counter("bufferpool.spills")
                 loads = METRICS.counter("bufferpool.loads")
+                spool = tmp_path / "db" / "spool"
+                assert spool.is_dir() and any(spool.iterdir())
         assert answers == oracle
         assert spills > 0
         assert loads > 0
+        # close() clears the spool: the files are pure cache and
+        # doc_ids restart per process, so none may outlive the pool.
+        assert not any(spool.iterdir())
+
+    def test_row_delete_removes_spill_files(self, tmp_path):
+        with DurableDatabase(tmp_path / "db",
+                             buffer_pool_bytes=TINY_BUDGET) as database:
+            load_paper_fixture(database)
+            spool = tmp_path / "db" / "spool"
+            before = len(list(spool.glob("doc-*.cols")))
+            assert before > 0
+            deleted = database.delete_rows("orders", lambda values: True)
+            assert deleted > 0
+            after = len(list(spool.glob("doc-*.cols")))
+            # Every spilled orders document's file went with its row.
+            assert after < before
+
+    def test_drop_table_removes_spill_files(self, tmp_path):
+        with DurableDatabase(tmp_path / "db",
+                             buffer_pool_bytes=TINY_BUDGET) as database:
+            load_paper_fixture(database)
+            spool = tmp_path / "db" / "spool"
+            assert any(spool.glob("doc-*.cols"))
+            for name in list(database.tables):
+                database.drop_table(name)
+            assert not any(spool.glob("doc-*.cols"))
+
+    def test_open_purges_stale_spool_files(self, tmp_path):
+        with DurableDatabase(tmp_path / "db",
+                             buffer_pool_bytes=TINY_BUDGET) as database:
+            load_paper_fixture(database)
+            database.checkpoint()
         spool = tmp_path / "db" / "spool"
-        assert spool.is_dir() and any(spool.iterdir())
+        # Model a crash: a stale file survives from a previous process
+        # life.  doc_ids restart per process, so it could alias a
+        # future document; open must purge it.
+        spool.mkdir(exist_ok=True)
+        (spool / "doc-1.cols").write_text("{}")
+        with DurableDatabase(tmp_path / "db",
+                             buffer_pool_bytes=TINY_BUDGET):
+            assert not (spool / "doc-1.cols").exists()
 
     def test_recovery_ignores_spool_files(self, oracle, tmp_path):
         # Spool files are pure cache: a recovered database answers

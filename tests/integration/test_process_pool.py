@@ -261,6 +261,41 @@ class TestLifecycle:
         # Writes after close must not try to ship anywhere.
         database.insert("orders", {"ordid": 95, "orddoc": NEW_ORDER})
 
+    def test_hung_worker_is_demoted_and_reaped(self, pool_db):
+        """A worker that stops responding must be *reaped* — process
+        terminated and joined, pipe closed — not just flagged dead.
+
+        SIGSTOP models the worst hang: the process ignores everything
+        except SIGKILL (SIGTERM stays pending on a stopped process), so
+        this also proves the terminate->kill escalation."""
+        import os
+        import signal
+
+        with pool_db.process_pool(processes=2,
+                                  response_timeout=2.0) as pool:
+            victim = pool._workers[0]
+            os.kill(victim.process.pid, signal.SIGSTOP)
+            with enabled_metrics():
+                result = pool.xquery(PATH_QUERY)
+                counters = METRICS.snapshot()["counters"]
+            # The fan-out timed out on the stopped worker, demoted it,
+            # and fell back to a correct serial answer.
+            assert counters["parallel.workers_demoted"] == 1
+            assert "parallel.fallback_reason.worker-error" in counters
+            assert result.serialize() == \
+                pool_db.xquery(PATH_QUERY).serialize()
+            # Reaped for real: process gone, our pipe end closed, the
+            # pool shrunk honestly.
+            assert not victim.alive
+            assert not victim.process.is_alive()
+            assert victim.process.exitcode is not None
+            assert victim.conn.closed
+            assert pool.workers_alive() == 1
+            # The survivor still answers (serially, single-worker).
+            again = pool.xquery(PATH_QUERY)
+            assert again.serialize() == \
+                pool_db.xquery(PATH_QUERY).serialize()
+
     def test_pool_survives_a_killed_worker(self, pool_db):
         with pool_db.process_pool(processes=2) as pool:
             victim = pool._workers[0]

@@ -119,6 +119,49 @@ class TestSpill:
         assert restored == original
 
 
+class TestSpillInvalidation:
+    def _spill_one(self, tmp_path):
+        pool = BufferPool(1, spill_dir=str(tmp_path / "spool"))
+        first, second = make_stored(1), make_stored(2)
+        for stored in (first, second):
+            stored._pool = pool
+            pool.admit(stored)
+        assert (tmp_path / "spool" / "doc-1.cols").exists()
+        return pool, first, second
+
+    def test_discard_deletes_spill_file(self, tmp_path):
+        pool, first, _second = self._spill_one(tmp_path)
+        pool.discard(first)
+        assert not (tmp_path / "spool" / "doc-1.cols").exists()
+        assert 1 not in pool._spilled
+
+    def test_discard_without_spill_is_noop(self, tmp_path):
+        pool = BufferPool(50_000_000, spill_dir=str(tmp_path / "spool"))
+        stored = make_stored(1)
+        stored._pool = pool
+        pool.admit(stored)
+        pool.discard(stored)  # never evicted -> never spilled
+        assert not (tmp_path / "spool").exists()
+
+    def test_close_removes_every_spill_file(self, tmp_path):
+        pool, _first, second = self._spill_one(tmp_path)
+        # Spill the second document too by evicting it with a third.
+        third = make_stored(3)
+        third._pool = pool
+        pool.admit(third)
+        pool._evict(second)
+        assert any((tmp_path / "spool").iterdir())
+        pool.close()
+        assert not any((tmp_path / "spool").iterdir())
+        assert not pool._spilled
+
+    def test_spill_delete_counter(self, tmp_path):
+        with enabled_metrics():
+            pool, first, _second = self._spill_one(tmp_path)
+            pool.discard(first)
+            assert METRICS.counter("bufferpool.spill_deletes") == 1
+
+
 class TestMetrics:
     def test_hit_miss_eviction_counters(self):
         with enabled_metrics():
