@@ -1,303 +1,29 @@
 #!/usr/bin/env python
-"""Repo-specific lint: lock discipline, exception hygiene, obs gating,
-fsync discipline.
+"""Back-compat shim: the repo lint grew into ``repro check``.
 
-Four rules, all enforced over ``src/repro/`` with Python's own ``ast``
-(no third-party linters, mirroring how ``repro lint`` reasons about
-query ASTs):
+The four lexical rules this script used to implement (lock discipline,
+exception hygiene, obs gating, fsync discipline) now live in
+:mod:`repro.analysis.lexical` as reason codes ``SA407``–``SA410``,
+running alongside the interprocedural concurrency passes
+``SA401``–``SA406`` (lock order, read->write upgrades,
+blocking-under-lock, blocking-in-coroutine, fork safety, guard-tick
+discipline).  See ``repro check --help`` / ``README.md``.
 
-1. **Lock discipline** (``src/repro/storage/catalog.py``): in any class
-   that owns a ``self._rwlock``, attribute mutations (``self.x = …``,
-   ``self.x += …``) and :class:`Table` mutator calls (``new_row`` /
-   ``remove_row``) outside ``__init__`` must sit lexically inside
-   ``with self._rwlock.write():`` — the copy-on-write contract
-   snapshot readers rely on.
-
-2. **Exception hygiene** (all of ``src/repro/``): no bare ``except:``
-   and no ``except Exception:`` in engine modules.  Handlers that
-   re-raise (a bare ``raise`` in the handler body) are allowed — the
-   cleanup-then-propagate pattern — as is an explicit
-   ``# lint: broad-except-ok`` pragma on the ``except`` line.
-
-3. **Obs gating** (all of ``src/repro/`` except ``obs/`` itself):
-   every ``METRICS.inc`` / ``METRICS.observe`` call must be lexically
-   inside an ``if METRICS.enabled:`` test, so the disabled-metrics hot
-   path never pays for counter bookkeeping.
-
-4. **Fsync discipline** (``src/repro/durability/`` except ``fsio.py``):
-   no builtin ``open()``, no ``os.*`` / ``shutil.*`` calls, and no
-   pathlib read/write/rename methods.  Crash safety hangs on every
-   write and rename of a durability file following the
-   write → fsync → rename → dir-fsync protocol, so those primitives
-   live only in ``durability/fsio.py`` where the protocol is enforced
-   and fault points are injected; a bare ``os.rename`` elsewhere is a
-   torn-state bug waiting for a power cut.
-
-Exit status 0 when clean, 1 with findings (one per line,
-``path:line: rule — message``).
+Kept so existing invocations — editors, git hooks, muscle memory —
+keep working; CI calls ``python -m repro check`` directly.  Output
+format is unchanged (``path:line: CODE — message``), exit 1 on
+findings.
 """
 
 from __future__ import annotations
 
-import ast
 import pathlib
 import sys
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
-SRC = REPO / "src" / "repro"
+sys.path.insert(0, str(REPO / "src"))
 
-PRAGMA = "lint: broad-except-ok"
-TABLE_MUTATORS = frozenset({"new_row", "remove_row"})
-
-
-class Finding:
-    def __init__(self, path: pathlib.Path, line: int, rule: str,
-                 message: str):
-        self.path = path
-        self.line = line
-        self.rule = rule
-        self.message = message
-
-    def __str__(self) -> str:
-        path = self.path
-        if path.is_relative_to(REPO):
-            path = path.relative_to(REPO)
-        return f"{path}:{self.line}: {self.rule} — {self.message}"
-
-
-# ---------------------------------------------------------------------------
-# Rule 1: catalog mutations only under the write lock
-# ---------------------------------------------------------------------------
-
-
-def _is_write_lock_with(node: ast.With) -> bool:
-    """``with self._rwlock.write():`` (any position among the items)."""
-    for item in node.items:
-        call = item.context_expr
-        if (isinstance(call, ast.Call)
-                and isinstance(call.func, ast.Attribute)
-                and call.func.attr == "write"
-                and isinstance(call.func.value, ast.Attribute)
-                and call.func.value.attr == "_rwlock"):
-            return True
-    return False
-
-
-def _owns_rwlock(class_node: ast.ClassDef) -> bool:
-    for node in ast.walk(class_node):
-        if (isinstance(node, ast.Assign)
-                and any(isinstance(target, ast.Attribute)
-                        and target.attr == "_rwlock"
-                        for target in node.targets)):
-            return True
-    return False
-
-
-def check_lock_discipline(path: pathlib.Path,
-                          tree: ast.Module) -> list[Finding]:
-    findings: list[Finding] = []
-    for class_node in (node for node in tree.body
-                       if isinstance(node, ast.ClassDef)):
-        if not _owns_rwlock(class_node):
-            continue
-        for method in (node for node in class_node.body
-                       if isinstance(node, (ast.FunctionDef,
-                                            ast.AsyncFunctionDef))):
-            if method.name in ("__init__", "__post_init__"):
-                continue
-            findings.extend(_check_method(path, method))
-    return findings
-
-
-def _check_method(path: pathlib.Path, method) -> list[Finding]:
-    findings: list[Finding] = []
-
-    def visit(node, locked: bool) -> None:
-        if isinstance(node, ast.With) and _is_write_lock_with(node):
-            locked = True
-        if not locked:
-            if isinstance(node, (ast.Assign, ast.AugAssign)):
-                targets = (node.targets if isinstance(node, ast.Assign)
-                           else [node.target])
-                for target in targets:
-                    if (isinstance(target, ast.Attribute)
-                            and isinstance(target.value, ast.Name)
-                            and target.value.id == "self"
-                            and target.attr != "_rwlock"):
-                        findings.append(Finding(
-                            path, node.lineno, "lock-discipline",
-                            f"self.{target.attr} mutated in "
-                            f"{method.name}() outside "
-                            f"'with self._rwlock.write()'"))
-            if (isinstance(node, ast.Call)
-                    and isinstance(node.func, ast.Attribute)
-                    and node.func.attr in TABLE_MUTATORS):
-                findings.append(Finding(
-                    path, node.lineno, "lock-discipline",
-                    f"table mutator .{node.func.attr}() called in "
-                    f"{method.name}() outside "
-                    f"'with self._rwlock.write()'"))
-        for child in ast.iter_child_nodes(node):
-            visit(child, locked)
-
-    for child in ast.iter_child_nodes(method):
-        visit(child, False)
-    return findings
-
-
-# ---------------------------------------------------------------------------
-# Rule 2: no unexcused broad excepts
-# ---------------------------------------------------------------------------
-
-
-def _is_broad(handler: ast.ExceptHandler) -> bool:
-    if handler.type is None:
-        return True
-    return (isinstance(handler.type, ast.Name)
-            and handler.type.id in ("Exception", "BaseException"))
-
-
-def _reraises(handler: ast.ExceptHandler) -> bool:
-    return any(isinstance(node, ast.Raise) and node.exc is None
-               for node in ast.walk(handler))
-
-
-def check_broad_excepts(path: pathlib.Path, tree: ast.Module,
-                        source_lines: list[str]) -> list[Finding]:
-    findings: list[Finding] = []
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.ExceptHandler) or not _is_broad(node):
-            continue
-        if _reraises(node):
-            continue
-        line = source_lines[node.lineno - 1]
-        if PRAGMA in line:
-            continue
-        what = ("bare except:" if node.type is None
-                else f"except {node.type.id}:")
-        findings.append(Finding(
-            path, node.lineno, "broad-except",
-            f"{what} swallows engine errors; catch ReproError (or a "
-            f"subclass), re-raise, or annotate '# {PRAGMA} (reason)'"))
-    return findings
-
-
-# ---------------------------------------------------------------------------
-# Rule 3: METRICS calls stay behind the enabled guard
-# ---------------------------------------------------------------------------
-
-
-def _mentions_metrics_enabled(test: ast.expr) -> bool:
-    for node in ast.walk(test):
-        if (isinstance(node, ast.Attribute) and node.attr == "enabled"
-                and isinstance(node.value, ast.Name)
-                and node.value.id == "METRICS"):
-            return True
-    return False
-
-
-def check_metrics_gating(path: pathlib.Path,
-                         tree: ast.Module) -> list[Finding]:
-    findings: list[Finding] = []
-
-    def visit(node, guarded: bool) -> None:
-        if isinstance(node, ast.If) and \
-                _mentions_metrics_enabled(node.test):
-            for child in node.body:
-                visit(child, True)
-            for child in node.orelse:
-                visit(child, guarded)
-            return
-        if (not guarded and isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and node.func.attr in ("inc", "observe")
-                and isinstance(node.func.value, ast.Name)
-                and node.func.value.id == "METRICS"):
-            findings.append(Finding(
-                path, node.lineno, "metrics-gating",
-                f"METRICS.{node.func.attr}() outside an "
-                f"'if METRICS.enabled:' guard: the disabled path pays "
-                f"for bookkeeping"))
-        for child in ast.iter_child_nodes(node):
-            visit(child, guarded)
-
-    for child in tree.body:
-        visit(child, False)
-    return findings
-
-
-# ---------------------------------------------------------------------------
-# Rule 4: raw file primitives only inside durability/fsio.py
-# ---------------------------------------------------------------------------
-
-RAW_IO_MODULES = frozenset({"os", "shutil"})
-PATHLIB_IO_METHODS = frozenset({
-    "write_text", "write_bytes", "read_text", "read_bytes",
-    "rename", "replace", "unlink", "touch", "rmdir", "mkdir"})
-
-
-def check_fsync_discipline(path: pathlib.Path,
-                           tree: ast.Module) -> list[Finding]:
-    findings: list[Finding] = []
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call):
-            continue
-        func = node.func
-        if isinstance(func, ast.Name) and func.id == "open":
-            findings.append(Finding(
-                path, node.lineno, "fsync-discipline",
-                "builtin open() in durability code; all file I/O goes "
-                "through durability/fsio.py, where the write→fsync→"
-                "rename protocol and fault points live"))
-        elif isinstance(func, ast.Attribute):
-            if (isinstance(func.value, ast.Name)
-                    and func.value.id in RAW_IO_MODULES):
-                findings.append(Finding(
-                    path, node.lineno, "fsync-discipline",
-                    f"{func.value.id}.{func.attr}() bypasses the fsync "
-                    f"discipline; use the durability/fsio.py helper"))
-            elif (func.attr in PATHLIB_IO_METHODS
-                    and not (isinstance(func.value, ast.Name)
-                             and func.value.id == "fsio")):
-                findings.append(Finding(
-                    path, node.lineno, "fsync-discipline",
-                    f".{func.attr}() on a path bypasses the fsync "
-                    f"discipline; use the durability/fsio.py helper"))
-    return findings
-
-
-# ---------------------------------------------------------------------------
-# Driver
-# ---------------------------------------------------------------------------
-
-
-def lint_file(path: pathlib.Path) -> list[Finding]:
-    source = path.read_text()
-    tree = ast.parse(source, filename=str(path))
-    findings = check_broad_excepts(path, tree, source.splitlines())
-    if path.name == "catalog.py":
-        findings.extend(check_lock_discipline(path, tree))
-    if "obs" not in path.parts:
-        findings.extend(check_metrics_gating(path, tree))
-    if "durability" in path.parts and path.name != "fsio.py":
-        findings.extend(check_fsync_discipline(path, tree))
-    return findings
-
-
-def main(argv: list[str]) -> int:
-    paths = ([pathlib.Path(argument) for argument in argv[1:]]
-             or sorted(SRC.rglob("*.py")))
-    findings: list[Finding] = []
-    for path in paths:
-        findings.extend(lint_file(path))
-    for finding in findings:
-        print(finding)
-    if findings:
-        print(f"{len(findings)} finding(s)", file=sys.stderr)
-        return 1
-    print(f"lint_repo: {len(paths)} files clean")
-    return 0
-
+from repro.analysis.runner import main  # noqa: E402
 
 if __name__ == "__main__":
-    raise SystemExit(main(sys.argv))
+    raise SystemExit(main())

@@ -29,11 +29,17 @@ Quickstart::
         "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price>100]")
 """
 
+from .analysis.sanitizer import install_from_env as _install_sanitizer
 from .errors import ReproError, SQLError, XMLParseError, XQueryError
 from .xmlio import parse_document as parse_xml
 from .xmlio import serialize, serialize_sequence
 
 __version__ = "1.0.0"
+
+# REPRO_SANITIZE=1 turns on the runtime concurrency sanitizer for the
+# whole process (see repro/analysis/sanitizer.py); off by default and
+# a single `is None` test per lock operation when off.
+_install_sanitizer()
 
 __all__ = [
     "Database", "DurableDatabase", "ReproError", "SQLError",

@@ -1,0 +1,41 @@
+"""The repo's own concurrency sanitizer: static passes + runtime mode.
+
+Two halves, one vocabulary of ``SA4xx`` reason codes
+(:mod:`repro.analysis.diagnostics`):
+
+* **Static** — ``repro check`` (:mod:`repro.analysis.runner`) builds a
+  call graph over the package (:mod:`repro.analysis.callgraph`) and
+  runs interprocedural lock-order/upgrade analysis
+  (:mod:`repro.analysis.locks`), blocking-under-lock and
+  blocking-in-coroutine detection (:mod:`repro.analysis.blocking`),
+  fork-safety (:mod:`repro.analysis.forksafety`), guard-tick
+  discipline (:mod:`repro.analysis.guardticks`) and the four migrated
+  lexical rules (:mod:`repro.analysis.lexical`).
+* **Dynamic** — ``REPRO_SANITIZE=1``
+  (:mod:`repro.analysis.sanitizer`) instruments the RWLock with a
+  global lock-order graph (cycles reported at acquire time with both
+  stacks), asserts no lock is held across fork, detects mutation
+  through pinned snapshots, and verifies WAL append order equals
+  apply order.
+
+This ``__init__`` stays import-light: the heavy static machinery
+loads only when ``run_checks`` / ``main`` are first touched, so the
+sanitizer hooks in the lock hot path cost nothing extra at import.
+"""
+
+from __future__ import annotations
+
+from . import sanitizer
+
+__all__ = ["sanitizer", "run_checks", "main", "SACode", "SAFinding"]
+
+
+def __getattr__(name: str):
+    if name in ("run_checks", "main"):
+        from . import runner
+        return getattr(runner, name)
+    if name in ("SACode", "SAFinding"):
+        from . import diagnostics
+        return getattr(diagnostics, name)
+    raise AttributeError(
+        f"module 'repro.analysis' has no attribute {name!r}")

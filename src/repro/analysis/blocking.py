@@ -1,0 +1,170 @@
+"""Blocking-call reachability (SA403, SA404).
+
+SA403: a blocking primitive — fsync, socket/pipe traffic, ``join``,
+``sleep``, ``select`` — reachable (directly or through resolvable
+callees) while a **write** lock is held stalls every reader and writer
+behind the exclusive section.  Some such sections are the design
+(group-commit fsync happens inside the writer section on purpose);
+those carry ``# sa: ok(SA403)`` pragmas at the call site.
+
+SA404: the same primitives called *synchronously* inside an
+``async def`` coroutine under ``server/`` stall the event loop for
+every connection.  Passing a blocking callable to ``run_in_executor``
+is the sanctioned escape — that is a reference, not a call, so it does
+not trip the pass.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .callgraph import CallGraph, _dotted
+from .diagnostics import SACode, SAFinding
+
+__all__ = ["check_blocking"]
+
+#: Final attribute / plain names that block the calling thread.
+_BLOCKING_LEAVES = frozenset({
+    "fsync", "fdatasync", "sendall", "send", "send_bytes", "recv",
+    "recv_bytes", "accept", "connect", "join", "sleep", "select",
+    "poll", "wait"})
+
+#: Leaves only blocking with an explicit prefix (``time.sleep`` yes,
+#: ``foo.sleep`` also yes; bare ``sleep()`` resolved locally is not
+#: a stdlib block).
+_ASYNC_BLOCKING_LEAVES = _BLOCKING_LEAVES | {"shutdown", "result"}
+
+
+def _direct_blocking(function) -> list:
+    """``(lineno, text)`` for lexically blocking calls in a body."""
+    out = []
+    for node in ast.walk(function.node):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if dotted is None:
+            continue
+        leaf = dotted.rsplit(".", 1)[-1]
+        if leaf in _BLOCKING_LEAVES and "." in dotted \
+                and not dotted.endswith("path.join"):
+            out.append((node.lineno, dotted))
+    return out
+
+
+def _effective_blocking(graph: CallGraph) -> dict:
+    """key -> {(text, origin_key)} blocking ops reachable from key."""
+    effects = {key: {(text, key) for _line, text
+                     in _direct_blocking(function)}
+               for key, function in graph.functions.items()}
+    changed = True
+    while changed:
+        changed = False
+        for key, function in graph.functions.items():
+            current = effects[key]
+            before = len(current)
+            for call in function.calls:
+                for target in call.targets:
+                    current |= effects.get(target, set())
+            if len(current) != before:
+                changed = True
+    return effects
+
+
+def _write_held(held: tuple) -> str | None:
+    for lock, mode in held:
+        if mode == "write":
+            return lock
+    return None
+
+
+def check_blocking(graph: CallGraph) -> list:
+    effects = _effective_blocking(graph)
+    findings: list = []
+    for function in graph.functions.values():
+        blocking_lines = dict(
+            (line, text) for line, text in _direct_blocking(function))
+        # Direct blocking calls under a lexically held write lock: the
+        # held set is per call site, recorded by the graph walk.
+        for call in function.calls:
+            lock = _write_held(call.held)
+            if lock is None:
+                continue
+            if call.lineno in blocking_lines and \
+                    blocking_lines[call.lineno] == call.text:
+                findings.append(SAFinding(
+                    SACode.BLOCKING_UNDER_LOCK, function.relpath,
+                    call.lineno,
+                    f"{function.key} calls blocking {call.text}() while "
+                    f"holding write({lock})"))
+                continue
+            for target in call.targets:
+                reachable = effects.get(target, set())
+                if reachable:
+                    text, origin = sorted(reachable)[0]
+                    callee = graph.functions.get(target)
+                    findings.append(SAFinding(
+                        SACode.BLOCKING_UNDER_LOCK, function.relpath,
+                        call.lineno,
+                        f"{function.key} holds write({lock}) and calls "
+                        f"{call.text}(), which reaches blocking "
+                        f"{text}() (in {origin})",
+                        suppress_at=((callee.relpath, callee.lineno)
+                                     if callee is not None else None)))
+                    break
+    findings.extend(_check_async(graph, effects))
+    return findings
+
+
+def _check_async(graph: CallGraph, effects: dict) -> list:
+    findings: list = []
+    for function in graph.functions.values():
+        if not function.is_async or \
+                not function.module.startswith("server"):
+            continue
+        awaited = {id(node.value) for node in ast.walk(function.node)
+                   if isinstance(node, ast.Await)}
+        # Calls inside a nested lambda/def are a callable being handed
+        # somewhere (typically run_in_executor) — not loop-side work.
+        deferred: set = set()
+        for node in ast.walk(function.node):
+            if isinstance(node, (ast.Lambda, ast.FunctionDef,
+                                 ast.AsyncFunctionDef)) \
+                    and node is not function.node:
+                deferred |= {id(inner) for inner in ast.walk(node)}
+        for node in ast.walk(function.node):
+            if not isinstance(node, ast.Call) or id(node) in awaited \
+                    or id(node) in deferred:
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None or "." not in dotted:
+                continue
+            leaf = dotted.rsplit(".", 1)[-1]
+            if leaf not in _ASYNC_BLOCKING_LEAVES:
+                continue
+            if leaf == "shutdown" and not any(
+                    keyword.arg == "wait"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                    for keyword in node.keywords):
+                continue
+            findings.append(SAFinding(
+                SACode.BLOCKING_IN_ASYNC, function.relpath, node.lineno,
+                f"async {function.key} calls blocking {dotted}() on "
+                f"the event loop; dispatch it via run_in_executor"))
+        for call in function.calls:
+            for target in call.targets:
+                callee = graph.functions.get(target)
+                if callee is None or callee.is_async:
+                    continue
+                reachable = effects.get(target, set())
+                if reachable:
+                    text, origin = sorted(reachable)[0]
+                    findings.append(SAFinding(
+                        SACode.BLOCKING_IN_ASYNC, function.relpath,
+                        call.lineno,
+                        f"async {function.key} calls {call.text}(), "
+                        f"which reaches blocking {text}() "
+                        f"(in {origin}); dispatch via run_in_executor",
+                        suppress_at=(callee.relpath, callee.lineno)))
+                    break
+    return findings

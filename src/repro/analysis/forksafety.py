@@ -1,0 +1,120 @@
+"""Fork-safety analysis (SA405).
+
+``multiprocessing`` with the ``fork`` start method clones the whole
+address space: a lock some parent thread holds mid-acquisition is
+cloned *held forever* in the child, and an open file descriptor is
+cloned mid-write.  This pass finds every ``x.start()`` where ``x`` was
+bound from a ``…Process(...)`` call in the same function, and flags
+the site when
+
+* a lock is lexically held there (the ``with`` stack), or
+* a lock is held at any resolvable call site of the enclosing
+  function, propagated transitively (the pool's ``_spawn_workers``
+  pattern: the constructor must release the read lock *before*
+  spawning — exactly what it does, and exactly what this proves), or
+* the site sits inside a ``with open(...)`` block.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .callgraph import CallGraph, _dotted
+from .diagnostics import SACode, SAFinding
+
+__all__ = ["check_fork_safety"]
+
+
+def _entry_held(graph: CallGraph) -> dict:
+    """key -> {(lock, mode)} held by some caller when key is entered."""
+    entry = {key: set() for key in graph.functions}
+    changed = True
+    while changed:
+        changed = False
+        for function in graph.functions.values():
+            inherited = entry[function.key]
+            for call in function.calls:
+                for target in call.targets:
+                    if target not in entry:
+                        continue
+                    incoming = set(call.held) | inherited
+                    if not incoming <= entry[target]:
+                        entry[target] |= incoming
+                        changed = True
+    return entry
+
+
+def _process_vars(function) -> set:
+    """Local names bound from a ``…Process(...)`` constructor call."""
+    names = set()
+    for node in ast.walk(function.node):
+        if not (isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Call)):
+            continue
+        dotted = _dotted(node.value.func)
+        if dotted is None or \
+                dotted.rsplit(".", 1)[-1] != "Process":
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _open_blocks(function) -> list:
+    """(start, end) line ranges of ``with open(...)`` blocks."""
+    ranges = []
+    for node in ast.walk(function.node):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        for item in node.items:
+            expr = item.context_expr
+            if (isinstance(expr, ast.Call)
+                    and isinstance(expr.func, ast.Name)
+                    and expr.func.id == "open"):
+                ranges.append((node.lineno,
+                               node.end_lineno or node.lineno))
+    return ranges
+
+
+def check_fork_safety(graph: CallGraph) -> list:
+    entry = _entry_held(graph)
+    findings: list = []
+    for function in graph.functions.values():
+        process_vars = _process_vars(function)
+        if not process_vars:
+            continue
+        open_ranges = _open_blocks(function)
+        starts = []
+        for node in ast.walk(function.node):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "start"
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in process_vars):
+                starts.append(node.lineno)
+        if not starts:
+            continue
+        lexical = {call.lineno: call.held for call in function.calls
+                   if call.held}
+        inherited = entry.get(function.key, set())
+        for lineno in starts:
+            held = set(lexical.get(lineno, ())) | inherited
+            if held:
+                locks = ", ".join(sorted(
+                    f"{mode}({lock})" for lock, mode in held))
+                findings.append(SAFinding(
+                    SACode.FORK_WITH_STATE, function.relpath, lineno,
+                    f"{function.key} forks a Process while {locks} "
+                    f"is held; the child clones the held lock"))
+                continue
+            for start, end in open_ranges:
+                if start <= lineno <= end:
+                    findings.append(SAFinding(
+                        SACode.FORK_WITH_STATE, function.relpath,
+                        lineno,
+                        f"{function.key} forks a Process inside a "
+                        f"'with open(...)' block; the child inherits "
+                        f"the open descriptor"))
+                    break
+    return findings

@@ -1,0 +1,102 @@
+"""Guard-tick discipline (SA406).
+
+The server's contract — deadlines (57014) and result budgets (54000)
+abort a statement *while it runs* — only holds if every loop that
+scales with data volume consults the :class:`~repro.xquery.guard.
+QueryGuard`.  This pass walks the two executors' row/item loops and
+demands each is *dominated* by a ``.tick(`` call: a tick earlier in
+the same function (the evaluator's pre-loop ``guard.tick(len(items)
++ 1)`` pattern), or a tick inside the loop body.
+
+Qualifying loops (``for`` statements only; comprehensions are bounded
+by an already-guarded producer):
+
+* ``sql/executor.py`` — iteration over ``envs`` / ``group_envs``,
+  anything named or attributed ``rows``, ``self._rows_for(...)`` /
+  ``self._xmltable_rows(...)``, and ``enumerate(items)``;
+* ``xquery/evaluator.py`` — iteration over the bare name ``items``
+  (the context sequence) or ``enumerate(items)``; attribute and call
+  forms (``expr.items``, ``mapping.items()``) are query-sized.
+
+Loops that are provably bounded by something the caller already
+ticked carry ``# sa: ok(SA406)`` pragmas with the reason.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .callgraph import CallGraph, _dotted
+from .diagnostics import SACode, SAFinding
+
+__all__ = ["check_guard_ticks"]
+
+_SQL_NAMES = frozenset({"envs", "group_envs", "rows"})
+_SQL_CALLS = frozenset({"_rows_for", "_xmltable_rows"})
+
+
+def _loop_iter_name(node: ast.For) -> tuple[str | None, bool]:
+    """``(canonical name, is_call)`` for what the loop iterates."""
+    iter_expr = node.iter
+    if (isinstance(iter_expr, ast.Call)
+            and isinstance(iter_expr.func, ast.Name)
+            and iter_expr.func.id == "enumerate" and iter_expr.args):
+        iter_expr = iter_expr.args[0]
+    if isinstance(iter_expr, ast.Call):
+        dotted = _dotted(iter_expr.func)
+        if dotted is not None:
+            return dotted.rsplit(".", 1)[-1], True
+        return None, True
+    dotted = _dotted(iter_expr)
+    if dotted is not None:
+        return dotted.rsplit(".", 1)[-1], isinstance(iter_expr,
+                                                     ast.Attribute)
+    return None, False
+
+
+def _qualifies(module: str, name: str | None, is_call: bool) -> bool:
+    if name is None:
+        return False
+    if module == "sql.executor":
+        if is_call:
+            return name in _SQL_CALLS or name == "rows"
+        return name in _SQL_NAMES
+    if module == "xquery.evaluator":
+        # Only the bare context-sequence name: ``expr.items`` and
+        # ``dict.items()`` are query-sized, not data-sized.
+        return name == "items" and not is_call
+    return False
+
+
+def _tick_lines(function) -> list:
+    return sorted(
+        node.lineno for node in ast.walk(function.node)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "tick")
+
+
+def check_guard_ticks(graph: CallGraph) -> list:
+    findings: list = []
+    for function in graph.functions.values():
+        if function.module not in ("sql.executor", "xquery.evaluator"):
+            continue
+        ticks = _tick_lines(function)
+        if not ticks:
+            ticks = []
+        for node in ast.walk(function.node):
+            if not isinstance(node, ast.For):
+                continue
+            name, is_call = _loop_iter_name(node)
+            if not _qualifies(function.module, name, is_call):
+                continue
+            end = node.end_lineno or node.lineno
+            dominated = any(tick <= end for tick in ticks)
+            if dominated:
+                continue
+            findings.append(SAFinding(
+                SACode.GUARD_TICK, function.relpath, node.lineno,
+                f"{function.key} iterates {name} without a "
+                f"QueryGuard.tick; a deadline or budget cannot "
+                f"interrupt this loop"))
+    return findings

@@ -1,0 +1,109 @@
+"""Interprocedural lock-order and upgrade analysis (SA401, SA402).
+
+Every function's *effective* acquisition set — the locks it may take
+directly or through any resolvable callee — is computed by a fixpoint
+over the call graph.  Order edges are then recorded wherever a lock is
+acquired (lexically, or by a callee) while another is already held;
+an edge pair ``A→B`` and ``B→A`` between distinct locks is a potential
+deadlock (SA401), and an edge ``read(L)→write(L)`` is the upgrade the
+RWLock refuses at run time (SA402).
+
+Reentrancy follows the engine's own rules: holding ``write(L)``
+permits any re-acquisition of ``L``, and ``read(L)→read(L)`` is the
+legal shared re-entry — neither produces an edge.
+"""
+
+from __future__ import annotations
+
+from .callgraph import CallGraph
+from .diagnostics import SACode, SAFinding
+
+__all__ = ["check_lock_order", "effective_acquires"]
+
+
+def effective_acquires(graph: CallGraph) -> dict:
+    """``key -> {(lock, mode)}`` reachable acquisitions per function."""
+    effects = {key: {(op.lock, op.mode) for op in function.acquires}
+               for key, function in graph.functions.items()}
+    changed = True
+    while changed:
+        changed = False
+        for key, function in graph.functions.items():
+            current = effects[key]
+            before = len(current)
+            for call in function.calls:
+                for target in call.targets:
+                    current |= effects.get(target, set())
+            if len(current) != before:
+                changed = True
+    return effects
+
+
+class _Edge:
+    __slots__ = ("path", "line", "text")
+
+    def __init__(self, path: str, line: int, text: str):
+        self.path = path
+        self.line = line
+        self.text = text
+
+
+def _record(edges: dict, findings: list, seen_upgrades: set,
+            held: tuple, lock: str, mode: str,
+            function, lineno: int, via: str | None) -> None:
+    for held_lock, held_mode in held:
+        if held_lock == lock:
+            if held_mode == "write" or mode in ("read", "lock") or \
+                    held_mode == "lock":
+                continue  # legal re-entry (or plain-mutex recursion)
+            site = (function.relpath, lineno)
+            if site in seen_upgrades:
+                continue
+            seen_upgrades.add(site)
+            suffix = f" via {via}" if via else ""
+            findings.append(SAFinding(
+                SACode.LOCK_UPGRADE, function.relpath, lineno,
+                f"{function.key} acquires write({lock}){suffix} while "
+                f"holding read({lock}); RWLock raises on upgrade"))
+            continue
+        pair = (held_lock, lock)
+        if pair not in edges:
+            suffix = f" via {via}" if via else ""
+            edges[pair] = _Edge(
+                function.relpath, lineno,
+                f"{function.key} holds {held_mode}({held_lock}) and "
+                f"acquires {mode}({lock}){suffix}")
+
+
+def check_lock_order(graph: CallGraph) -> list:
+    effects = effective_acquires(graph)
+    edges: dict = {}
+    findings: list = []
+    seen_upgrades: set = set()
+    for function in graph.functions.values():
+        for op in function.acquires:
+            _record(edges, findings, seen_upgrades, op.held,
+                    op.lock, op.mode, function, op.lineno, None)
+        for call in function.calls:
+            if not call.held:
+                continue
+            for target in call.targets:
+                for lock, mode in sorted(effects.get(target, ())):
+                    _record(edges, findings, seen_upgrades, call.held,
+                            lock, mode, function, call.lineno,
+                            call.text)
+    reported: set = set()
+    for (first, second), edge in sorted(edges.items()):
+        if (second, first) not in edges:
+            continue
+        pair = frozenset((first, second))
+        if pair in reported:
+            continue
+        reported.add(pair)
+        other = edges[(second, first)]
+        findings.append(SAFinding(
+            SACode.LOCK_ORDER, edge.path, edge.line,
+            f"lock-order inversion between {first} and {second}: "
+            f"{edge.text}",
+            related=f"{other.path}:{other.line}: {other.text}"))
+    return findings

@@ -14,7 +14,10 @@ Subcommands:
   one; ``ingest`` populates such a directory with the paper schema,
   ``checkpoint`` writes an atomic checkpoint and truncates the WAL,
   ``recover --verify`` replays and integrity-checks a directory, and
-  ``q1`` … ``q30`` answer the paper's numbered queries from one.
+  ``q1`` … ``q30`` answer the paper's numbered queries from one;
+* ``check`` — the concurrency sanitizer's static half: interprocedural
+  lock-order / blocking / fork-safety / guard-tick passes over the
+  package source (``--json`` for tooling, exit 1 on findings).
 
 Examples::
 
@@ -128,6 +131,17 @@ def build_parser() -> argparse.ArgumentParser:
     recover.add_argument("--verify", action="store_true",
                          help="check rebuilt path summaries against "
                               "the checkpoint (exit 1 on mismatch)")
+
+    check = commands.add_parser(
+        "check", help="run the concurrency sanitizer's static passes "
+                      "(lock order, blocking-under-lock, fork safety, "
+                      "guard ticks, lexical rules) over the package "
+                      "source; exit 1 on findings")
+    check.add_argument("--json", action="store_true",
+                       help="machine-readable findings")
+    check.add_argument("paths", nargs="*",
+                       help="restrict to specific source files "
+                            "(default: the whole package)")
 
     serve = commands.add_parser(
         "serve", help="serve the database over a length-prefixed JSON "
@@ -365,6 +379,11 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
         return run_checkpoint(arguments, out)
     if arguments.command == "recover":
         return run_recover(arguments, out)
+    if arguments.command == "check":
+        from .analysis.runner import main as check_main
+        return check_main(
+            (["--json"] if arguments.json else []) + arguments.paths,
+            out=out)
     if arguments.command == "serve":
         return run_serve(arguments, out)
     if arguments.command.startswith("q") and \

@@ -38,6 +38,7 @@ import threading
 import time
 from contextlib import contextmanager
 
+from ..analysis import sanitizer as _sanitizer
 from ..obs.metrics import METRICS
 
 __all__ = ["RWLock"]
@@ -65,6 +66,10 @@ class RWLock:
     def acquire_read(self) -> None:
         me = threading.current_thread()
         waited = 0.0
+        if _sanitizer.ACTIVE is not None:
+            # Before the blocking wait: an inverted acquisition order
+            # must be reported while both threads are still running.
+            _sanitizer.ACTIVE.on_acquire(self, "read")
         with self._cond:
             if self._writer is me or self._held_reads():
                 # Reentrant (or write-implies-read): never block on
@@ -87,6 +92,8 @@ class RWLock:
                 METRICS.observe("rwlock.read_wait_seconds", waited)
 
     def release_read(self) -> None:
+        if _sanitizer.ACTIVE is not None:
+            _sanitizer.ACTIVE.on_release(self, "read")
         with self._cond:
             held = self._held_reads()
             if held <= 0:
@@ -109,6 +116,8 @@ class RWLock:
     def acquire_write(self) -> None:
         me = threading.current_thread()
         waited = 0.0
+        if _sanitizer.ACTIVE is not None:
+            _sanitizer.ACTIVE.on_acquire(self, "write")
         with self._cond:
             if self._writer is me:
                 self._write_depth += 1
@@ -134,6 +143,8 @@ class RWLock:
                 METRICS.observe("rwlock.write_wait_seconds", waited)
 
     def release_write(self) -> None:
+        if _sanitizer.ACTIVE is not None:
+            _sanitizer.ACTIVE.on_release(self, "write")
         with self._cond:
             if self._writer is not threading.current_thread():
                 raise RuntimeError("release_write by non-owner thread")

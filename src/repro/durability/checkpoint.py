@@ -125,6 +125,8 @@ def encode_database(database, last_lsn: int, *,
     }
 
 
+# sa: ok(SA403: the checkpoint serializes state under the writer lock
+# so the snapshot and its LSN agree; that is the whole protocol)
 def write_checkpoint(database, directory, last_lsn: int, *,
                      faults=NO_FAULTS, tracer=None) -> CheckpointInfo:
     """Serialize, write-temp, fsync, rename: the atomic protocol.

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import pathlib
 
+from ..analysis import sanitizer as _sanitizer
 from ..schema.schema import Schema
 from ..storage.catalog import Database
 from ..storage.table import Row, StoredDocument, Table
@@ -241,10 +242,17 @@ class DurableDatabase(Database):
     # Internals
     # ------------------------------------------------------------------
 
+    # sa: ok(SA403: WAL append fsyncs inside the writer section BY
+    # DESIGN — the write lock is what serializes the log with the
+    # in-memory mutation it describes; see the class docstring)
     def _log(self, record: dict) -> None:
         if self._replaying:
             return
-        self._wal.append(record)
+        lsn = self._wal.append(record)
+        if _sanitizer.ACTIVE is not None:
+            # Append order == apply order only while the exclusive
+            # lock spans both; the sanitizer checks exactly that.
+            _sanitizer.ACTIVE.note_wal_append(self, lsn)
 
     def _note_schema(self, schema: Schema) -> dict:
         """The WAL reference for a validation schema.

@@ -243,6 +243,8 @@ class WriteAheadLog:
         self._pending.clear()
         self._write_group(data, sync=self.fsync_policy != "off")
 
+    # sa: ok(SA403: callers fsync under the writer lock on purpose —
+    # durability must be ordered with the mutation it covers)
     def sync(self) -> None:
         """Force full durability: drain the buffer and fsync."""
         if self._pending:
@@ -278,6 +280,8 @@ class WriteAheadLog:
 
     # -- truncation (after a checkpoint) --------------------------------
 
+    # sa: ok(SA403: truncation runs inside the checkpoint's exclusive
+    # section so no writer can append to the log being replaced)
     def reset(self, last_lsn: int) -> None:
         """Truncate the log after a checkpoint at ``last_lsn``.
 
@@ -304,6 +308,8 @@ class WriteAheadLog:
             self._synced_size = self._written_size
         self._next_lsn = last_lsn + 1
 
+    # sa: ok(SA403: the final flush+fsync happens under the writer
+    # lock so close cannot race a concurrent append)
     def close(self) -> None:
         if self._handle.closed:
             return

@@ -74,6 +74,16 @@ of the trace/EXPLAIN ANALYZE contract documented in EXPERIMENTS.md):
                                   EOF, or send failure)
 ``bufferpool.spill_deletes``      spool files deleted when their
                                   document was discarded
+``sanitizer.violations``          total runtime-sanitizer findings
+                                  (``REPRO_SANITIZE=1``; always 0 in a
+                                  healthy run)
+``sanitizer.lock_order``          lock-order cycles seen at acquire time
+``sanitizer.upgrade``             read→write upgrade attempts observed
+``sanitizer.fork``                locks held across a Process fork
+``sanitizer.snapshot_mutation``   in-place mutation of a pinned
+                                  snapshot's row list
+``sanitizer.wal_order``           WAL appends outside the writer section
+                                  or with non-contiguous LSNs
 ================================  =========================================
 
 All mutation goes through one :class:`threading.Lock`; the compiled

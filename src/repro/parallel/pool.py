@@ -45,6 +45,7 @@ import multiprocessing
 import threading
 import time
 
+from ..analysis import sanitizer as _sanitizer
 from ..core.querycache import compile_query
 from ..durability.checkpoint import encode_database
 from ..errors import ReplicationError
@@ -208,6 +209,10 @@ class ProcessPool:
     # ------------------------------------------------------------------
 
     def _spawn_workers(self, processes: int, state: dict) -> None:
+        if _sanitizer.ACTIVE is not None:
+            # The bootstrap read section above has been released by
+            # now; a held lock here would be cloned into every child.
+            _sanitizer.ACTIVE.check_fork("ProcessPool._spawn_workers")
         for _ in range(processes):
             parent_conn, child_conn = self._context.Pipe()
             process = self._context.Process(

@@ -134,7 +134,14 @@ class ReproServer:
         for writer in list(self._conn_writers):
             writer.close()
         if self._executor is not None:
-            self._executor.shutdown(wait=True)
+            # shutdown(wait=True) joins worker threads; run it off the
+            # event loop (and NOT on self._executor — it would wait on
+            # itself).  The pool is quiescent here, so this is a join
+            # of idle workers, but a stuck statement must not freeze
+            # heartbeats for every other connection.
+            executor = self._executor
+            await asyncio.get_running_loop().run_in_executor(
+                None, lambda: executor.shutdown(wait=True))
         self._drained.set()
 
     def install_signal_handlers(self) -> None:

@@ -37,6 +37,7 @@ from ..errors import ReproError, SQLCastError, SQLError
 from ..obs.metrics import METRICS
 from ..planner.plan import PrefilteredDatabase, plan_prefilters
 from ..planner.stats import ExecutionStats
+from ..xquery.guard import active_guard
 from ..xdm import atomic
 from ..xdm.atomic import AtomicValue
 from ..xdm.nodes import AttributeNode, ElementNode, Node, TextNode, copy_node
@@ -67,6 +68,7 @@ class SQLResult:
         """Rows with XML values rendered as text (for display/tests)."""
         from ..xmlio.serializer import serialize_sequence
         rendered = []
+        # sa: ok(SA406: post-execution rendering; server charges bytes)
         for row in self.rows:
             rendered.append(tuple(
                 serialize_sequence(value.items)
@@ -179,6 +181,7 @@ class _SQLExecutor:
         table = self.database.table(statement.table)
         columns = statement.columns or list(table.columns)
         inserted = 0
+        # sa: ok(SA406: statement.rows is the VALUES list — query-sized)
         for row_exprs in statement.rows:
             if len(row_exprs) != len(columns):
                 raise SQLError(
@@ -250,6 +253,13 @@ class _SQLExecutor:
         else:
             self._join([], from_refs, statement, plan, {}, envs)
 
+        guard = active_guard()
+        if guard is not None:
+            # Pure SQL obeys the same row budget as a FLWOR return
+            # clause: a joined row set beyond the cap aborts (54000)
+            # instead of being projected and filtered down later.
+            guard.check_items(len(envs))
+
         columns = [self._column_name(item, position)
                    for position, item in enumerate(statement.items, 1)]
 
@@ -304,6 +314,10 @@ class _SQLExecutor:
 
     def _run_grouped(self, statement: ast.SelectStmt, envs: list[dict],
                      columns: list[str]) -> SQLResult:
+        guard = active_guard()
+        if guard is not None:
+            # Grouping evaluates the GROUP BY keys once per input row.
+            guard.tick(len(envs) + 1)
         groups: dict[tuple, list[dict]] = {}
         for env in envs:
             key = tuple(_group_key(self.eval_expr(expr, env))
@@ -380,6 +394,10 @@ class _SQLExecutor:
                         group_envs: list[dict]):
         if expr.function == "COUNT" and expr.argument is None:
             return len(group_envs)
+        guard = active_guard()
+        if guard is not None:
+            # Aggregates evaluate their argument once per group row.
+            guard.tick(len(group_envs) + 1)
         values = []
         for env in group_envs:
             value = self.eval_expr(expr.argument, env)
@@ -635,8 +653,13 @@ class _SQLExecutor:
             return
         ref = remaining[0]
         rest = remaining[1:]
+        guard = active_guard()
         if isinstance(ref, ast.TableRef):
             for row in self._rows_for(ref, plan, bound, env):
+                if guard is not None:
+                    # The join scan is where a runaway cross product
+                    # burns time; the deadline must interrupt it here.
+                    guard.tick()
                 self.stats.rows_scanned += 1
                 env[ref.alias] = ("table", ref.name, row)
                 self._join(bound + [ref.alias], rest, statement, plan,
@@ -644,6 +667,8 @@ class _SQLExecutor:
                 del env[ref.alias]
         else:
             for values in self._xmltable_rows(ref, env):
+                if guard is not None:
+                    guard.tick()
                 env[ref.alias] = ("xmltable", values)
                 self._join(bound + [ref.alias], rest, statement, plan,
                            env, out)
@@ -720,6 +745,10 @@ class _SQLExecutor:
                 continue
             docs |= probe.index.matching_documents(
                 key, key, path_filter=candidate.path, stats=self.stats)
+        guard = active_guard()
+        if guard is not None:
+            # Mapping matched documents back to rows scans the table.
+            guard.tick(len(table.rows) + 1)
         doc_to_rows: set[int] = set()
         for row in table.rows:
             if _row_docs(row) & docs:

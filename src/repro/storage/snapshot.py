@@ -28,6 +28,7 @@ partition-parallel executor) holds the read side itself.
 
 from __future__ import annotations
 
+from ..analysis import sanitizer as _sanitizer
 from ..errors import CatalogError, SQLError
 from ..obs.metrics import METRICS
 from ..xdm.sequence import Item
@@ -221,6 +222,24 @@ class Snapshot(ReadView):
         self.xml_indexes = dict(database.xml_indexes)
         self.rel_indexes = dict(database.rel_indexes)
         self.schemas = dict(database.schemas)
+        if _sanitizer.ACTIVE is not None:
+            # Record (id, len) of every pinned row list: an in-place
+            # mutation — same list object, different length — is the
+            # COW violation snapshots exist to rule out.
+            _sanitizer.ACTIVE.fingerprint_snapshot(self)
+
+    def xquery(self, query: str, use_indexes: bool = True,
+               cost_based: bool = False,
+               prefilter_threshold: float = 0.9,
+               rewrite_views: bool = False,
+               tracer=None, variables: dict | None = None):
+        if _sanitizer.ACTIVE is not None:
+            _sanitizer.ACTIVE.verify_snapshot(self)
+        return super().xquery(
+            query, use_indexes=use_indexes, cost_based=cost_based,
+            prefilter_threshold=prefilter_threshold,
+            rewrite_views=rewrite_views, tracer=tracer,
+            variables=variables)
 
     def sql(self, statement: str, use_indexes: bool = True, tracer=None):
         head = statement.lstrip().upper()
@@ -228,6 +247,8 @@ class Snapshot(ReadView):
             raise SQLError(
                 "snapshots are read-only: only SELECT/VALUES may run "
                 "against a Snapshot", "25006")
+        if _sanitizer.ACTIVE is not None:
+            _sanitizer.ACTIVE.verify_snapshot(self)
         return super().sql(statement, use_indexes=use_indexes,
                            tracer=tracer)
 

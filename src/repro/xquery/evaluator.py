@@ -228,6 +228,7 @@ class Evaluator:
 
     def _node_sequence(self, expr, ctx, operation: str) -> list[Node]:
         items = self.evaluate(expr, ctx)
+        # sa: ok(SA406: isinstance check only; self.evaluate ticked)
         for item in items:
             if not isinstance(item, Node):
                 raise XQueryTypeError(
@@ -451,6 +452,7 @@ class Evaluator:
         """
         from ..storage.pathsummary import get_summary
         summaries = []
+        # sa: ok(SA406: one summary lookup per document root; bails early)
         for item in items:
             if not isinstance(item, DocumentNode):
                 return steps, items
@@ -525,6 +527,11 @@ class Evaluator:
             results.extend(evaluated)
         else:
             size = len(items)
+            guard = active_guard()
+            if guard is not None:
+                # Expression steps re-evaluate per context item; a
+                # deadline must be able to interrupt wide sequences.
+                guard.tick(size + 1)
             for position, item in enumerate(items, start=1):
                 focused = ctx.with_focus(item, position, size)
                 evaluated = self.evaluate(step.expr, focused)
@@ -541,9 +548,13 @@ class Evaluator:
 
     def _filter_predicates(self, items, predicates: list[ast.Expr],
                            ctx) -> list:
+        guard = active_guard()
         for predicate in predicates:
             kept = []
             size = len(items)
+            if guard is not None:
+                # Each predicate pass evaluates an expression per item.
+                guard.tick(size + 1)
             for position, item in enumerate(items, start=1):
                 focused = ctx.with_focus(item, position, size)
                 values = self.evaluate(predicate, focused)

@@ -6,11 +6,15 @@ row/byte result limits, and those must abort the statement *while it
 runs*, not after the evaluator has materialized an unbounded result.
 
 A :class:`QueryGuard` is installed in a :mod:`contextvars` context
-variable around statement execution and consulted from the evaluator's
-two hot loops — FLWOR tuple production and axis-step application — so
-a runaway query trips inside the loop that is burning the time.  The
-un-guarded path pays one ``ContextVar.get`` returning ``None`` per
-loop, nothing else.
+variable around statement execution and consulted from every loop that
+scales with data volume: the evaluator's FLWOR tuple production,
+axis-step application, expression steps and predicate filters, and the
+SQL executor's join enumeration, grouping and aggregation loops.  A
+runaway query therefore trips inside the loop that is burning the
+time — pure-SQL statements included, not only XQuery bodies.  The
+static pass ``SA406`` (``repro check``) keeps the set of ticked loops
+honest.  The un-guarded path pays one ``ContextVar.get`` returning
+``None`` per loop, nothing else.
 
 Semantics:
 

@@ -24,6 +24,27 @@ __all__ = ["PAPER_ORDERS", "PAPER_CUSTOMERS", "PAPER_PRODUCTS",
            "assert_same_results"]
 
 
+@pytest.fixture(autouse=True)
+def _sanitizer_hard_failure():
+    """Make runtime-sanitizer findings fail the test that caused them.
+
+    The sanitizer (``REPRO_SANITIZE=1``) records violations instead of
+    raising — it must observe the engine, not change its control flow.
+    Under pytest that soft contract becomes hard: any violation left
+    behind by a test fails that test with the rendered stacks.  A
+    no-op when the sanitizer is off.
+    """
+    from repro.analysis import sanitizer
+    sanitizer.drain()   # do not blame this test for earlier leftovers
+    yield
+    leftover = sanitizer.drain()
+    if leftover:
+        report = "\n\n".join(v.render() for v in leftover)
+        pytest.fail(
+            f"concurrency sanitizer recorded {len(leftover)} "
+            f"violation(s):\n{report}")
+
+
 @pytest.fixture()
 def db() -> Database:
     return Database()

@@ -1,0 +1,68 @@
+"""Pure-SQL statements obey the QueryGuard (the satellite bugfix).
+
+Before this change the SQL executor never ticked: a deadline or row
+budget installed by the server could only interrupt XQuery bodies, so
+a pure-SQL cross join ran to completion no matter what.  These tests
+pin the fix — the join scan, grouping and aggregation loops all
+consult the guard — from the outside, through ``guarded()`` exactly as
+the server installs it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.errors import QueryLimitError, QueryTimeoutError
+from repro.xquery.guard import QueryGuard, guarded
+
+ROWS = 300   # past CHECK_EVERY=256, so per-row ticks reach the clock
+
+
+@pytest.fixture()
+def wide_db() -> Database:
+    database = Database()
+    database.create_table("nums", [("n", "INTEGER")])
+    for value in range(ROWS):
+        database.insert("nums", {"n": value})
+    return database
+
+
+def test_sql_scan_honours_deadline(wide_db):
+    with guarded(QueryGuard(timeout_seconds=0.0)):
+        with pytest.raises(QueryTimeoutError) as excinfo:
+            wide_db.sql("SELECT n FROM nums")
+    assert excinfo.value.sqlstate == "57014"
+
+
+def test_sql_aggregation_honours_deadline(wide_db):
+    with guarded(QueryGuard(timeout_seconds=0.0)):
+        with pytest.raises(QueryTimeoutError):
+            wide_db.sql("SELECT COUNT(n) FROM nums")
+
+
+def test_sql_cancel_interrupts_a_join(wide_db):
+    guard = QueryGuard()
+    guard.cancel()
+    with guarded(guard):
+        with pytest.raises(QueryTimeoutError):
+            wide_db.sql(
+                "SELECT a.n FROM nums AS a, nums AS b WHERE a.n = b.n")
+
+
+def test_sql_row_budget_enforced_mid_statement(wide_db):
+    with guarded(QueryGuard(max_rows=10)):
+        with pytest.raises(QueryLimitError) as excinfo:
+            wide_db.sql("SELECT n FROM nums")
+    assert excinfo.value.sqlstate == "54000"
+
+
+def test_unguarded_sql_is_unchanged(wide_db):
+    result = wide_db.sql("SELECT COUNT(n) FROM nums")
+    assert result.rows == [(ROWS,)]
+
+
+def test_guarded_sql_within_budget_succeeds(wide_db):
+    with guarded(QueryGuard(timeout_seconds=30.0, max_rows=ROWS)):
+        result = wide_db.sql("SELECT COUNT(n) FROM nums")
+    assert result.rows == [(ROWS,)]
