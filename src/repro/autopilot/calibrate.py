@@ -1,0 +1,142 @@
+"""Cost-model calibration: EXPLAIN ANALYZE q-errors close the loop.
+
+The planner's probe estimates (``repro.planner.cost``) rest on an
+independence assumption — key selectivity × structural coverage — that
+real data routinely violates.  EXPLAIN ANALYZE already measures the
+violation: every index-scan operator carries ``estimated_rows`` and
+``actual_rows``, and their ratio (the q-error) says exactly how far off
+the model was.  Before this module those samples were printed and
+thrown away.
+
+:class:`CostCalibration` keeps them.  Each observation nudges a single
+multiplicative correction ``factor`` toward the value that would have
+made past estimates exact, with a damped update so one outlier cannot
+whipsaw the model::
+
+    factor *= (actual / estimated) ** DAMPING      # clamped [0.1, 10]
+
+:class:`repro.planner.cost.CostModel` folds ``factor`` into the
+independence part of its estimate (the exact structural coverage cap
+stays uncalibrated).  On a :class:`~repro.durability.engine.
+DurableDatabase` the calibration is persisted in the data directory
+(``calibration.json``) on close and loaded on open, so the model keeps
+learning across restarts; in-memory databases calibrate for the life
+of the process.
+
+File I/O goes through :mod:`repro.durability.fsio` (temp + atomic
+replace): the file is advisory — a torn or corrupt file just means the
+model restarts uncalibrated — but readers must never see half a write.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+
+from ..durability import fsio
+
+__all__ = ["CostCalibration"]
+
+#: Exponent of the multiplicative update: 1.0 would jump straight to
+#: the last observed ratio, 0.0 would never move.  0.25 converges in a
+#: handful of observations while averaging out per-query noise.
+DAMPING = 0.25
+#: Clamp range for the correction factor (matches CostModel's belt).
+FACTOR_MIN = 0.1
+FACTOR_MAX = 10.0
+#: Ring-buffer bound on retained (estimated, actual) samples.
+MAX_SAMPLES = 256
+
+
+class CostCalibration:
+    """Damped online correction factor fed by q-error observations.
+
+    Thread-safe: EXPLAIN ANALYZE may run concurrently from several
+    sessions, and the planner reads :attr:`factor` without the lock
+    (a stale read is one observation behind — harmless).
+    """
+
+    #: File name under a DurableDatabase's data directory.
+    FILENAME = "calibration.json"
+
+    def __init__(self, path=None, factor: float = 1.0, samples=None):
+        self.path = path
+        self.factor = min(FACTOR_MAX, max(FACTOR_MIN, float(factor)))
+        self.samples: deque = deque(samples or (), maxlen=MAX_SAMPLES)
+        self._lock = threading.Lock()
+
+    # -- feedback -------------------------------------------------------
+
+    def observe(self, estimated: float, actual: float) -> float:
+        """Record one (estimated, actual) cardinality pair.
+
+        Returns the sample's q-error ``max(actual/est, est/actual)``.
+        Cardinalities are floored at 1 (the usual q-error convention):
+        a zero-result query says nothing a ratio can express, and
+        without the floor a single empty result would slam the factor
+        to its clamp.
+        """
+        estimated = max(float(estimated), 1.0)
+        actual = max(float(actual), 1.0)
+        ratio = actual / estimated
+        q_error = max(ratio, 1.0 / ratio)
+        with self._lock:
+            self.samples.append({
+                "estimated": round(estimated, 4),
+                "actual": round(actual, 4),
+                "q_error": round(q_error, 4),
+            })
+            self.factor = min(FACTOR_MAX, max(
+                FACTOR_MIN, self.factor * ratio ** DAMPING))
+        return q_error
+
+    def median_q_error(self) -> float:
+        """Median q-error over retained samples (1.0 when empty)."""
+        with self._lock:
+            errors = sorted(sample["q_error"] for sample in self.samples)
+        if not errors:
+            return 1.0
+        return errors[len(errors) // 2]
+
+    # -- persistence ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            factor = self.factor
+            samples = list(self.samples)
+        errors = sorted(sample["q_error"] for sample in samples)
+        median = errors[len(errors) // 2] if errors else 1.0
+        return {"factor": round(factor, 4),
+                "samples": len(samples),
+                "median_q_error": round(median, 4)}
+
+    @classmethod
+    def load(cls, path) -> "CostCalibration":
+        """Load persisted calibration; missing/corrupt files start
+        fresh (the file is an advisory cache, never authoritative)."""
+        try:
+            raw = json.loads(fsio.read_bytes(path).decode("utf-8"))
+            factor = float(raw["factor"])
+            samples = [sample for sample in raw.get("samples", [])
+                       if isinstance(sample, dict)][-MAX_SAMPLES:]
+        except (OSError, ValueError, KeyError, TypeError):
+            return cls(path=path)
+        return cls(path=path, factor=factor, samples=samples)
+
+    def save(self) -> None:
+        """Persist atomically (temp + rename) under ``self.path``."""
+        if self.path is None:
+            return
+        with self._lock:
+            payload = {"factor": self.factor,
+                       "samples": list(self.samples)}
+        data = json.dumps(payload, indent=1).encode("utf-8")
+        temp = str(self.path) + ".tmp"
+        fsio.write_bytes(temp, data)
+        fsio.fsync_path(temp)
+        fsio.replace(temp, self.path)
+
+    def __repr__(self) -> str:
+        return (f"CostCalibration(factor={self.factor:.3f}, "
+                f"samples={len(self.samples)})")

@@ -1,0 +1,170 @@
+"""Workload profiler: the autopilot's observation layer.
+
+Every statement execution (``repro.planner.plan.execute_xquery`` and
+``repro.sql.executor.execute_sql``) reports its text, its
+:class:`~repro.planner.stats.ExecutionStats` and its wall time here
+when a profiler is installed on the database
+(``database.workload_profiler``); writers
+(:meth:`Database.insert` / row deletion) report per-table write
+counts.  The hook is the same cheap-guard shape as the metrics
+discipline — an attribute load and a ``None`` check when profiling is
+off.
+
+Statements are aggregated by **fingerprint**: whitespace collapsed and
+numeric literals masked to ``?``, so ``@price > 100`` and
+``@price > 250`` are one workload entry.  String literals are *not*
+masked — ``db2-fn:xmlcolumn('ORDERS.ORDDOC')`` vs
+``('CUSTOMER.CDOC')`` are different collections and must profile
+separately.
+
+The profile is bounded on both axes: at most :data:`MAX_STATEMENTS`
+distinct fingerprints (least-frequent evicted first) and a ring buffer
+of the most recent raw observations for inspection.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..obs.metrics import METRICS
+
+__all__ = ["StatementProfile", "WorkloadProfiler"]
+
+#: Bound on distinct statement fingerprints retained.
+MAX_STATEMENTS = 256
+#: Bound on the raw-observation ring buffer.
+RING_SIZE = 512
+
+#: A numeric literal not embedded in an identifier (``db2-fn`` and
+#: ``q12`` survive; ``> 100`` and ``1.5e3`` are masked).
+_NUMBER_RE = re.compile(r"(?<![\w.])\d+(?:\.\d+)?(?:[eE][+-]?\d+)?(?!\w)")
+_SPACE_RE = re.compile(r"\s+")
+
+
+def fingerprint(statement: str) -> str:
+    """Normalize a statement for workload aggregation."""
+    masked = _NUMBER_RE.sub("?", statement)
+    return _SPACE_RE.sub(" ", masked).strip()
+
+
+@dataclass
+class StatementProfile:
+    """Aggregate behaviour of one normalized statement."""
+
+    fingerprint: str
+    exemplar: str                 # last raw text seen for this shape
+    language: str                 # 'xquery' | 'sql'
+    count: int = 0
+    seconds_total: float = 0.0
+    docs_scanned_total: int = 0
+    rows_scanned_total: int = 0
+    index_scans_total: int = 0
+    indexes_used: set = field(default_factory=set)
+    last_seen: float = 0.0
+
+    @property
+    def mean_docs_scanned(self) -> float:
+        return self.docs_scanned_total / self.count if self.count else 0.0
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.seconds_total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "language": self.language,
+            "count": self.count,
+            "mean_seconds": round(self.mean_seconds, 6),
+            "mean_docs_scanned": round(self.mean_docs_scanned, 2),
+            "index_scans": self.index_scans_total,
+            "indexes_used": sorted(self.indexes_used),
+        }
+
+
+class WorkloadProfiler:
+    """Bounded, thread-safe profile of observed statements and writes.
+
+    Takes its own lock (never the database's): observation happens on
+    the query path after the engine released its read lock, and must
+    not serialize readers against each other beyond a dict update.
+    """
+
+    def __init__(self, max_statements: int = MAX_STATEMENTS,
+                 ring_size: int = RING_SIZE):
+        self.max_statements = max_statements
+        self._lock = threading.Lock()
+        self.profiles: dict[str, StatementProfile] = {}
+        self.recent: deque = deque(maxlen=ring_size)
+        self.write_counts: dict[str, int] = {}
+        self.total_queries = 0
+        self.total_writes = 0
+
+    # -- observation hooks ---------------------------------------------
+
+    def observe_query(self, statement: str, language: str, stats,
+                      seconds: float) -> None:
+        """Called by the executors after every successful statement."""
+        key = fingerprint(statement)
+        now = time.monotonic()
+        with self._lock:
+            profile = self.profiles.get(key)
+            if profile is None:
+                if len(self.profiles) >= self.max_statements:
+                    self._evict_least_frequent()
+                profile = StatementProfile(key, statement, language)
+                self.profiles[key] = profile
+            profile.exemplar = statement
+            profile.count += 1
+            profile.seconds_total += seconds
+            profile.docs_scanned_total += getattr(stats, "docs_scanned", 0)
+            profile.rows_scanned_total += getattr(stats, "rows_scanned", 0)
+            profile.index_scans_total += getattr(stats, "index_scans", 0)
+            profile.indexes_used.update(
+                getattr(stats, "indexes_used", ()) or ())
+            profile.last_seen = now
+            self.total_queries += 1
+            self.recent.append((key, language, seconds))
+        if METRICS.enabled:
+            METRICS.inc("autopilot.observations")
+
+    def observe_write(self, table: str, count: int = 1) -> None:
+        """Called by the catalog after inserts/deletes commit."""
+        with self._lock:
+            self.write_counts[table] = \
+                self.write_counts.get(table, 0) + count
+            self.total_writes += count
+
+    def _evict_least_frequent(self) -> None:
+        victim = min(self.profiles.values(),
+                     key=lambda profile: (profile.count,
+                                          profile.last_seen))
+        del self.profiles[victim.fingerprint]
+
+    # -- reading --------------------------------------------------------
+
+    def statements(self) -> list[StatementProfile]:
+        """Profiles ordered by observed frequency (hottest first)."""
+        with self._lock:
+            profiles = list(self.profiles.values())
+        return sorted(profiles, key=lambda profile: -profile.count)
+
+    def write_rate(self, table: str) -> int:
+        with self._lock:
+            return self.write_counts.get(table, 0)
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            writes = dict(self.write_counts)
+            totals = (self.total_queries, self.total_writes)
+        return {
+            "queries_observed": totals[0],
+            "writes_observed": totals[1],
+            "write_counts": writes,
+            "statements": [profile.to_dict()
+                           for profile in self.statements()],
+        }

@@ -181,6 +181,47 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--metrics", action="store_true",
                        help="enable the engine metrics registry; the "
                             "'stats' op then includes it")
+    serve.add_argument("--auto-index", action="store_true",
+                       help="run the self-driving index policy: a "
+                            "background thread watches the observed "
+                            "workload and builds beneficial XML "
+                            "indexes online")
+    serve.add_argument("--auto-index-interval", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="seconds between auto-index advise/apply "
+                            "cycles (default: 1.0)")
+
+    autopilot = commands.add_parser(
+        "autopilot", help="self-driving indexing: profile a workload, "
+                          "advise CREATE INDEX DDL, optionally build "
+                          "it online and calibrate the cost model")
+    _add_data_arguments(autopilot)
+    autopilot.add_argument("--fixture", action="store_true",
+                           help="without --data: use an in-memory "
+                                "database preloaded with the paper "
+                                "fixture (no indexes)")
+    autopilot.add_argument("--observe", metavar="FILE", default=None,
+                           help="execute statements from FILE (one per "
+                                "line, '#' comments) so the profiler "
+                                "sees them; '-' reads stdin")
+    autopilot.add_argument("--paper", action="store_true",
+                           help="observe the paper's 30-query workload")
+    autopilot.add_argument("--advise", action="store_true",
+                           help="print ranked CREATE INDEX advice for "
+                                "the observed workload")
+    autopilot.add_argument("--apply", action="store_true",
+                           help="build the advised indexes online "
+                                "(implies --advise)")
+    autopilot.add_argument("--limit", type=int, default=None,
+                           metavar="N",
+                           help="build at most N advised indexes")
+    autopilot.add_argument("--calibrate", action="store_true",
+                           help="EXPLAIN ANALYZE the hottest profiled "
+                                "statements and feed q-errors back "
+                                "into the cost model")
+    autopilot.add_argument("--json", action="store_true",
+                           help="emit the full autopilot report as "
+                                "JSON")
 
     for number in range(1, 31):
         paper = commands.add_parser(
@@ -364,7 +405,59 @@ def run_serve(arguments, out) -> int:
                 buffer_pool_bytes=arguments.buffer_pool_bytes)
             if arguments.fixture:
                 load_paper_fixture(database)
+        if arguments.auto_index:
+            from .autopilot import AutoIndexPolicy
+            lifecycle.enter_context(AutoIndexPolicy(
+                database.autopilot(),
+                interval=arguments.auto_index_interval))
         asyncio.run(_serve(database))
+    return 0
+
+
+def run_autopilot(arguments, out) -> int:
+    """``repro autopilot``: observe → advise → apply → calibrate."""
+    import json
+
+    with contextlib.ExitStack() as lifecycle:
+        if arguments.data:
+            from .durability import DurableDatabase
+            database = lifecycle.enter_context(
+                DurableDatabase(
+                    arguments.data, fsync_policy=arguments.fsync,
+                    buffer_pool_bytes=arguments.buffer_pool_bytes))
+        else:
+            database = Database(
+                buffer_pool_bytes=arguments.buffer_pool_bytes)
+            if arguments.fixture:
+                load_paper_fixture(database, with_indexes=False)
+        pilot = database.autopilot()
+        if arguments.paper:
+            from .workload.paperqueries import PAPER_QUERIES
+            for number in sorted(PAPER_QUERIES):
+                run_paper_query(database, number)
+        if arguments.observe:
+            source = (sys.stdin.read() if arguments.observe == "-"
+                      else pathlib.Path(arguments.observe).read_text())
+            statements = [line.strip() for line in source.splitlines()
+                          if line.strip()
+                          and not line.lstrip().startswith("#")]
+            pilot.observe(statements)
+        advising = arguments.advise or arguments.apply or \
+            not (arguments.paper or arguments.observe
+                 or arguments.calibrate)
+        if advising:
+            advice = pilot.advise()
+        if arguments.apply:
+            pilot.apply(limit=arguments.limit)
+        if arguments.calibrate:
+            pilot.calibrate()
+        if arguments.json:
+            print(json.dumps(pilot.to_dict(), indent=2), file=out)
+            return 0
+        if advising and not pilot.last_advice and not pilot.applied:
+            print("no advice: every profiled predicate is served or "
+                  "below the benefit bar", file=out)
+        print(pilot.report(), file=out)
     return 0
 
 
@@ -386,6 +479,8 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
             out=out)
     if arguments.command == "serve":
         return run_serve(arguments, out)
+    if arguments.command == "autopilot":
+        return run_autopilot(arguments, out)
     if arguments.command.startswith("q") and \
             arguments.command[1:].isdigit():
         return run_paper_query_command(int(arguments.command[1:]),

@@ -88,6 +88,13 @@ class DurableDatabase(Database):
             self.directory / WAL_NAME, fsync_policy=fsync_policy,
             group_size=group_size, faults=faults,
             start_lsn=self.last_recovery.last_lsn)
+        # Cost-model calibration survives restarts: EXPLAIN ANALYZE
+        # q-error samples (and the damped correction factor they drive)
+        # are loaded from the data directory on open and persisted on
+        # close — see repro.autopilot.calibrate.
+        from ..autopilot.calibrate import CostCalibration
+        self.cost_calibration = CostCalibration.load(
+            self.directory / CostCalibration.FILENAME)
 
     # ------------------------------------------------------------------
     # Logged writers (apply under the write lock, then log)
@@ -126,6 +133,21 @@ class DurableDatabase(Database):
                 "pattern": index.pattern_text,
                 "type": index.index_type})
             return index
+
+    def _publish_xml_index(self, index) -> None:
+        """Online-build commit point: install + WAL-log atomically.
+
+        The record shape is identical to :meth:`create_xml_index`'s, so
+        recovery replays an online build as an ordinary offline one —
+        a crash before this point leaves no WAL trace (no index after
+        recovery), a crash after it replays a complete build."""
+        with self._rwlock.write():
+            super()._publish_xml_index(index)
+            self._log({
+                "op": "create_xml_index", "name": index.name,
+                "table": index.table, "column": index.column,
+                "pattern": index.pattern_text,
+                "type": index.index_type})
 
     def create_relational_index(self, name: str, table: str,
                                 column: str):
@@ -220,6 +242,8 @@ class DurableDatabase(Database):
         with self._rwlock.write():
             self._wal.close()
         self.buffer_pool.close()
+        if self.cost_calibration is not None:
+            self.cost_calibration.save()
 
     def _purge_spool(self) -> None:
         spool = self.directory / "spool"

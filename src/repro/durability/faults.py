@@ -44,6 +44,12 @@ FAULT_POINTS = (
     "checkpoint.after_rename",
     "checkpoint.before_wal_reset",
     "checkpoint.after_wal_reset",
+    # Online index build (repro.storage.catalog.create_xml_index_online):
+    # snapshot scan → write-locked WAL-delta catch-up → publish + log.
+    "index.build.after_scan",
+    "index.build.before_catchup",
+    "index.build.before_publish",
+    "index.build.after_publish",
 )
 
 

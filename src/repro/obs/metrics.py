@@ -84,6 +84,16 @@ of the trace/EXPLAIN ANALYZE contract documented in EXPERIMENTS.md):
                                   snapshot's row list
 ``sanitizer.wal_order``           WAL appends outside the writer section
                                   or with non-contiguous LSNs
+``autopilot.observations``        statements recorded by the workload
+                                  profiler
+``autopilot.candidates``          (gauge) index candidates at the last
+                                  advise cycle
+``autopilot.builds``              indexes built online by ``apply``
+``autopilot.calibration_factor``  (gauge) cost-model correction factor
+                                  after the last calibration pass
+``autopilot.policy_cycles``       background auto-index policy cycles
+``autopilot.policy_errors``       policy cycles that swallowed an error
+                                  (always 0 in a healthy run)
 ================================  =========================================
 
 All mutation goes through one :class:`threading.Lock`; the compiled

@@ -92,8 +92,21 @@ class CostModel:
 
     #: Skip a probe expected to keep more than this fraction of docs.
     prefilter_threshold: float = 0.9
+    #: Optional feedback calibration (an object with a ``factor``
+    #: attribute — see :class:`repro.autopilot.calibrate.CostCalibration`).
+    #: EXPLAIN ANALYZE q-errors drive ``factor`` toward the value that
+    #: would have made past estimates exact; ``None`` means the
+    #: uncalibrated model (factor 1.0).
+    calibration: object | None = None
     #: Cache of histograms keyed by index object id.
     _histograms: dict = field(default_factory=dict)
+
+    @property
+    def calibration_factor(self) -> float:
+        factor = getattr(self.calibration, "factor", 1.0)
+        # A corrupt persisted factor must never zero out or explode the
+        # estimate; the calibration store clamps too, this is the belt.
+        return min(10.0, max(0.1, float(factor)))
 
     def histogram_for(self, index) -> KeyHistogram:
         histogram = self._histograms.get(id(index))
@@ -133,13 +146,20 @@ class CostModel:
         # The entries-per-document factor widens the estimate when
         # documents hold several entries, but survivors are still a
         # subset of the covered documents — never exceed ``coverage``.
+        # The calibration factor folds EXPLAIN ANALYZE feedback into
+        # the independence-assumption part of the estimate only; the
+        # structural ``coverage`` cap is exact and stays uncalibrated.
+        factor = self.calibration_factor
         docs_fraction = min(1.0, coverage,
-                            coverage * key_fraction *
+                            coverage * key_fraction * factor *
                             max(1.0, len(index) / max(1, docs_in_index)))
         worthwhile = docs_fraction <= self.prefilter_threshold
+        calibration_note = (f", calibration x{factor:.2f}"
+                            if factor != 1.0 else "")
         note = (f"estimated surviving fraction "
                 f"{docs_fraction:.2f} "
                 f"({'use' if worthwhile else 'skip'} probe, "
-                f"threshold {self.prefilter_threshold}{summary_note})")
+                f"threshold {self.prefilter_threshold}{summary_note}"
+                f"{calibration_note})")
         return ProbeEstimate(key_fraction, docs_fraction, worthwhile,
                              note)

@@ -404,7 +404,8 @@ def _make_probe_estimator(database):
     executions never construct this, so they never pay for histograms.
     """
     from .cost import CostModel
-    model = CostModel()
+    model = CostModel(calibration=getattr(database, "cost_calibration",
+                                          None))
 
     def estimate(column: str, probe: _Probe) -> dict:
         table, _sep, column_name = column.partition(".")
@@ -478,7 +479,11 @@ def execute_xquery(database, query: str,
     ``variables`` binds external variables (name → item sequence) in
     the dynamic context — the server's session variables ride in here.
     """
-    started = time.perf_counter() if METRICS.enabled else 0.0
+    # The workload profiler (repro.autopilot) rides on the same cheap
+    # guard discipline as METRICS: one attribute read when absent.
+    profiler = getattr(database, "workload_profiler", None)
+    started = (time.perf_counter()
+               if METRICS.enabled or profiler is not None else 0.0)
     stats = ExecutionStats()
     if tracer is not None:
         hits_before = cache_info().hits
@@ -507,7 +512,9 @@ def execute_xquery(database, query: str,
         cost_model = None
         if cost_based:
             from .cost import CostModel
-            cost_model = CostModel(prefilter_threshold=prefilter_threshold)
+            cost_model = CostModel(
+                prefilter_threshold=prefilter_threshold,
+                calibration=getattr(database, "cost_calibration", None))
         if tracer is not None:
             with tracer.span("static-analysis") as span:
                 facts = static_prefilter_facts(database, candidates)
@@ -581,6 +588,9 @@ def execute_xquery(database, query: str,
     if METRICS.enabled:
         METRICS.inc("queries.xquery")
         METRICS.observe("query.seconds", time.perf_counter() - started)
+    if profiler is not None:
+        profiler.observe_query(query, "xquery", stats,
+                               time.perf_counter() - started)
     return QueryResult(items, stats)
 
 

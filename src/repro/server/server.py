@@ -384,6 +384,16 @@ class ReproServer:
             f"server.queue_depth {self.admission.queue_depth}",
             f"server.draining {int(self._draining)}",
         ]
+        profiler = getattr(self.database, "workload_profiler", None)
+        if profiler is not None:
+            lines.append(
+                f"autopilot.queries_observed {profiler.total_queries}")
+            lines.append(
+                f"autopilot.writes_observed {profiler.total_writes}")
+            pilot = getattr(self.database, "_autopilot", None)
+            if pilot is not None:
+                lines.append(
+                    f"autopilot.indexes_built {len(pilot.applied)}")
         if METRICS.enabled:
             rendered = METRICS.render()
             if rendered:

@@ -101,7 +101,9 @@ class _Plan:
 def execute_sql(database, statement_text: str,
                 use_indexes: bool = True, tracer=None) -> SQLResult:
     from .parser import parse_statement
-    started = time.perf_counter() if METRICS.enabled else 0.0
+    profiler = getattr(database, "workload_profiler", None)
+    started = (time.perf_counter()
+               if METRICS.enabled or profiler is not None else 0.0)
     if tracer is not None:
         with tracer.span("parse") as span:
             statement = parse_statement(statement_text)
@@ -114,6 +116,9 @@ def execute_sql(database, statement_text: str,
         METRICS.inc("queries.sql")
         METRICS.inc("rows.scanned", result.stats.rows_scanned)
         METRICS.observe("query.seconds", time.perf_counter() - started)
+    if profiler is not None:
+        profiler.observe_query(statement_text, "sql", result.stats,
+                               time.perf_counter() - started)
     return result
 
 

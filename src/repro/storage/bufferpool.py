@@ -118,6 +118,25 @@ class BufferPool:
             for doc_id in list(self._spilled):
                 self._remove_spill(doc_id)
 
+    def release(self, stored) -> None:
+        """A bulk scan (index build) is done with this document.
+
+        Scan-resistance for index builds: a build touches every
+        document exactly once, so letting each one ride the LRU both
+        blows past the budget transiently (the previous scan document
+        is still charged when the next one loads) and evicts the whole
+        pre-build working set.  Builders call this after finishing a
+        document; when the pool is over budget the *scanned* document
+        is evicted immediately instead of a colder — but hotter in
+        truth — working-set entry."""
+        if not self.enabled:
+            return
+        with self._lock:
+            if (self.resident_bytes > self.budget_bytes
+                    and self._charged.get(stored.doc_id, 0) > 0):
+                self._evict(stored)
+                self._publish_gauge()
+
     def touch(self, stored) -> None:
         """An access found the materialized tree live: LRU bump + hit."""
         if not self.enabled:

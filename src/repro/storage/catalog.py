@@ -78,6 +78,13 @@ class Database(ReadView):
         #: never registered and never evicted.
         self.buffer_pool = BufferPool(buffer_pool_bytes,
                                       spill_dir=buffer_pool_spill_dir)
+        #: Workload profiler installed by :meth:`autopilot` (None keeps
+        #: the query path's observation hook a no-op attribute read).
+        self.workload_profiler = None
+        #: Cost-model calibration (see :mod:`repro.autopilot.calibrate`);
+        #: DurableDatabase loads/persists it under the data directory.
+        self.cost_calibration = None
+        self._autopilot = None
 
     # ------------------------------------------------------------------
     # DDL (writers: exclusive lock + copy-on-write catalog updates)
@@ -137,14 +144,113 @@ class Database(ReadView):
                     f"{table}.{column} is not an XML column")
             index = XmlIndex(key, table_obj.name, column.lower(), pattern,
                              index_type, order=self.index_order)
-            # Build: index existing documents.
+            # Build: index existing documents.  Each document is
+            # released back to the buffer pool as soon as it has been
+            # indexed — a bulk build touches every document once, and
+            # without the release the materialized trees stack up past
+            # the pool budget and evict the real working set.
             for stored in self.documents(table, column):
                 index.index_document(stored.doc_id, stored.document)
+                self.buffer_pool.release(stored)
             xml_indexes = dict(self.xml_indexes)
             xml_indexes[key] = index
             self.xml_indexes = xml_indexes
             self.version += 1
             return index
+
+    def create_xml_index_online(self, name: str, table: str, column: str,
+                                pattern: str, index_type: str) -> XmlIndex:
+        """Build an XML index without excluding writers for the build.
+
+        The offline :meth:`create_xml_index` holds the exclusive lock
+        for the whole build — O(collection) with every writer stalled.
+        This variant is the autopilot's builder:
+
+        1. **Snapshot scan (no lock):** pin a COW snapshot and index
+           its documents while writers proceed.  Each document is
+           released back to the buffer pool once indexed, so the build
+           charges — and stays within — the pool budget.
+        2. **Catch-up (short write lock):** diff the snapshot's doc-id
+           set against the live table and index/unindex the delta —
+           the rows the WAL recorded while the scan ran.  Writers are
+           excluded only for this window, which is proportional to the
+           write rate during the scan, not to the collection.
+        3. **Publish:** install the index in the catalog (COW swap).
+           :class:`~repro.durability.engine.DurableDatabase` overrides
+           :meth:`_publish_xml_index` to WAL-log the DDL at this point,
+           so recovery replays it as an ordinary offline build —
+           a crash anywhere before publish leaves no trace, and a
+           crash after it leaves a complete, queryable index.
+
+        Named ``index.build.*`` crash points instrument steps 1–3 for
+        the fault-injection crash matrix.
+        """
+        faults = getattr(self, "_faults", None)
+        key = name.lower()
+        with self._rwlock.read():
+            if key in self.xml_indexes or key in self.rel_indexes:
+                raise CatalogError(f"index {name!r} already exists")
+            table_obj = self.table(table)
+            if not table_obj.column_type(column).is_xml:
+                raise CatalogError(
+                    f"{table}.{column} is not an XML column")
+            snapshot = Snapshot(self)
+        index = XmlIndex(key, table_obj.name, column.lower(), pattern,
+                         index_type, order=self.index_order)
+        built: dict[int, StoredDocument] = {}
+        for stored in snapshot.documents(table, column):
+            index.index_document(stored.doc_id, stored.document)
+            built[stored.doc_id] = stored
+            self.buffer_pool.release(stored)
+        if faults is not None:
+            faults.crash_point("index.build.after_scan")
+        with self._rwlock.write():
+            if key in self.xml_indexes or key in self.rel_indexes:
+                raise CatalogError(
+                    f"index {name!r} was created concurrently")
+            if faults is not None:
+                faults.crash_point("index.build.before_catchup")
+            live = {stored.doc_id: stored
+                    for stored in self.documents(table, column)}
+            for doc_id, stored in live.items():
+                if doc_id not in built:
+                    index.index_document(doc_id, stored.document)
+                    self.buffer_pool.release(stored)
+            for doc_id, stored in built.items():
+                if doc_id not in live:
+                    # The snapshot pins the deleted row's document, so
+                    # its postings can be removed exactly.
+                    index.remove_document(doc_id, stored.document)
+            if faults is not None:
+                faults.crash_point("index.build.before_publish")
+            self._publish_xml_index(index)
+            if faults is not None:
+                faults.crash_point("index.build.after_publish")
+            return index
+
+    def _publish_xml_index(self, index: XmlIndex) -> None:
+        """Install a fully built index in the catalog (COW swap).
+
+        The online builder's commit point; DurableDatabase overrides
+        this to append the defining DDL to the WAL in the same
+        exclusive section."""
+        with self._rwlock.write():
+            xml_indexes = dict(self.xml_indexes)
+            xml_indexes[index.name] = index
+            self.xml_indexes = xml_indexes
+            self.version += 1
+
+    def autopilot(self, **options):
+        """This database's self-driving-indexing facade (lazily built).
+
+        Attaching the autopilot installs its workload profiler, so
+        subsequent queries are observed; see
+        :class:`repro.autopilot.Autopilot`."""
+        with self._rwlock.write():
+            if self._autopilot is None:
+                from ..autopilot import Autopilot
+                self._autopilot = Autopilot(self, **options)
+            return self._autopilot
 
     def create_relational_index(self, name: str, table: str,
                                 column: str) -> RelationalIndex:
@@ -234,6 +340,8 @@ class Database(ReadView):
             for stored in stored_docs:
                 self.buffer_pool.admit(stored)
             self.version += 1
+            if self.workload_profiler is not None:
+                self.workload_profiler.observe_write(table_obj.name)
             return row
 
     def _schema_for(self, schema, column: str) -> Schema | None:
@@ -355,6 +463,9 @@ class Database(ReadView):
                         self.buffer_pool.discard(value)
             if victims:
                 self.version += 1
+                if self.workload_profiler is not None:
+                    self.workload_profiler.observe_write(
+                        table_obj.name, count=len(victims))
             return len(victims)
 
     # ------------------------------------------------------------------

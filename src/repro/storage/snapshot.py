@@ -222,6 +222,11 @@ class Snapshot(ReadView):
         self.xml_indexes = dict(database.xml_indexes)
         self.rel_indexes = dict(database.rel_indexes)
         self.schemas = dict(database.schemas)
+        # Shared observation channel, not versioned state: queries run
+        # against a pinned snapshot (e.g. server sessions) must still
+        # feed the live database's workload profiler or the autopilot
+        # would be blind to exactly the workload it should serve.
+        self.workload_profiler = database.workload_profiler
         if _sanitizer.ACTIVE is not None:
             # Record (id, len) of every pinned row list: an in-place
             # mutation — same list object, different length — is the

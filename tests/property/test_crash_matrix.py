@@ -66,6 +66,12 @@ def _build_ops():
          lambda db: db.insert("orders",
                               {"ordid": PAPER_ORDERS[4][0],
                                "orddoc": PAPER_ORDERS[4][1]})),
+        # Online build: snapshot scan → catch-up → publish.  One WAL
+        # record (logged at publish) keeps the op ↔ LSN invariant; the
+        # plain-Database oracle runs the same method offline-equivalent.
+        ("online build o_custid",
+         lambda db: db.create_xml_index_online(
+             "o_custid", "orders", "orddoc", "//custid", "DOUBLE")),
         ("delete even orders", lambda db: db.delete_rows(
             "orders", lambda values: values["ordid"] % 2 == 0)),
         # Final op is deliberately tiny so the torn-tail matrix stays
